@@ -1,0 +1,157 @@
+// Command merlin-bench regenerates the paper's evaluation tables and
+// figures (§6) and prints their rows. Absolute numbers differ from the
+// paper — the substrate is the bundled simulator and simplex rather than a
+// hardware testbed and Gurobi — but the shapes (who wins, by roughly what
+// factor, where growth turns super-linear) reproduce; see EXPERIMENTS.md.
+//
+// Usage:
+//
+//	merlin-bench -run all
+//	merlin-bench -run fig4,hadoop,fig5,fig6,table7,fig8,fig9,fig10,ablation
+//	merlin-bench -run fig6 -zoo-stride 1    # all 262 zoo topologies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"merlin/internal/experiments"
+)
+
+func main() {
+	var (
+		run       = flag.String("run", "all", "comma-separated experiments: fig4, hadoop, fig5, fig6, table7, fig8, fig9, fig10, ablation")
+		zooStride = flag.Int("zoo-stride", 10, "sample every Nth Topology Zoo network for fig6 (1 = all 262)")
+	)
+	flag.Parse()
+	want := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+	ran := 0
+
+	section := func(name, title string, f func() error) {
+		if !all && !want[name] {
+			return
+		}
+		ran++
+		fmt.Printf("\n=== %s — %s ===\n", name, title)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "merlin-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	printRows := func(rows []experiments.Row) {
+		for _, r := range rows {
+			fmt.Println(r.Format())
+		}
+	}
+
+	section("fig4", "expressiveness on the Stanford campus", func() error {
+		rows, err := experiments.Fig4()
+		printRows(rows)
+		return err
+	})
+	section("hadoop", "Hadoop sort under interference and guarantees (§6.2)", func() error {
+		rows, err := experiments.Hadoop()
+		printRows(rows)
+		return err
+	})
+	section("fig5", "Ring Paxos throughput without/with Merlin", func() error {
+		rows, err := experiments.Fig5()
+		printRows(rows)
+		return err
+	})
+	section("fig6", "Topology Zoo all-pairs compile times", func() error {
+		rows, err := experiments.Fig6(*zooStride)
+		printRows(rows)
+		return err
+	})
+	section("table7", "fat-tree provisioning cost split (Fig. 7 table)", func() error {
+		for _, c := range experiments.Table7Cases() {
+			r, err := experiments.Table7(c)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r.Format())
+		}
+		return nil
+	})
+	section("fig8", "compile time vs traffic classes (four panels)", func() error {
+		for _, c := range experiments.Fig8Cases() {
+			rows, err := experiments.Fig8(c)
+			if err != nil {
+				return err
+			}
+			printRows(rows)
+		}
+		return nil
+	})
+	section("fig9", "negotiator verification scaling", func() error {
+		rows, err := experiments.Fig9Predicates([]int{100, 500, 1000, 2000, 4000})
+		if err != nil {
+			return err
+		}
+		printRows(rows)
+		rows, err = experiments.Fig9Regexes([]int{50, 100, 200, 400, 800, 1000})
+		if err != nil {
+			return err
+		}
+		printRows(rows)
+		rows, err = experiments.Fig9Allocations([]int{100, 500, 1000, 2000, 4000})
+		if err != nil {
+			return err
+		}
+		printRows(rows)
+		return nil
+	})
+	section("fig10", "AIMD and MMFS dynamic adaptation", func() error {
+		aimd, err := experiments.Fig10AIMD()
+		if err != nil {
+			return err
+		}
+		fmt.Println("-- AIMD --")
+		printRows(experiments.SeriesRows(aimd, 5))
+		mmfs, err := experiments.Fig10MMFS()
+		if err != nil {
+			return err
+		}
+		fmt.Println("-- MMFS --")
+		printRows(experiments.SeriesRows(mmfs, 2))
+		return nil
+	})
+	section("ablation", "design-choice ablations", func() error {
+		fmt.Println("-- path-selection heuristics (Fig. 3) --")
+		rows, err := experiments.AblationHeuristics()
+		if err != nil {
+			return err
+		}
+		printRows(rows)
+		fmt.Println("-- greedy vs MIP --")
+		rows, err = experiments.AblationGreedyVsMIP(8)
+		if err != nil {
+			return err
+		}
+		printRows(rows)
+		fmt.Println("-- DFA minimization in verification --")
+		rows, err = experiments.AblationMinimization([]int{100, 400})
+		if err != nil {
+			return err
+		}
+		printRows(rows)
+		fmt.Println("-- localization splits (§3.1) --")
+		rows, err = experiments.AblationLocalization()
+		if err != nil {
+			return err
+		}
+		printRows(rows)
+		return nil
+	})
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "merlin-bench: nothing selected by -run %q\n", *run)
+		os.Exit(2)
+	}
+}

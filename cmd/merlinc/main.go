@@ -1,0 +1,149 @@
+// Command merlinc compiles a Merlin policy against a topology and prints
+// the generated device configuration: OpenFlow rules, queue reservations,
+// tc/iptables commands, and Click configurations.
+//
+// Usage:
+//
+//	merlinc -topology fattree:4 -policy policy.m [-heuristic ratio] [-place dpi=m1,nat=m1]
+//	merlinc -topology stanford -expr 'foreach (s,d) in cross(hosts,hosts): .*'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	merlin "merlin"
+	"merlin/internal/topo"
+)
+
+func main() {
+	var (
+		topoSpec  = flag.String("topology", "fattree:4", "topology: fattree:K, btree:FANOUT:DEPTH:HOSTS, linear:N, stanford, twopath, example")
+		policyArg = flag.String("policy", "", "policy file to compile")
+		exprArg   = flag.String("expr", "", "inline policy source (alternative to -policy)")
+		heuristic = flag.String("heuristic", "wsp", "path selection: wsp, ratio, reserved")
+		placeArg  = flag.String("place", "", "function placements, e.g. dpi=m1;nat=m1,h2")
+		greedy    = flag.Bool("greedy", false, "use the greedy allocator instead of the MIP")
+		verbose   = flag.Bool("v", false, "print every generated rule")
+	)
+	flag.Parse()
+
+	t, err := buildTopology(*topoSpec)
+	if err != nil {
+		fatal(err)
+	}
+	src := *exprArg
+	if *policyArg != "" {
+		data, err := os.ReadFile(*policyArg)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	}
+	if src == "" {
+		fatal(fmt.Errorf("provide -policy FILE or -expr SOURCE"))
+	}
+	pol, err := merlin.ParsePolicy(src, t)
+	if err != nil {
+		fatal(err)
+	}
+	opts := merlin.Options{Greedy: *greedy}
+	switch *heuristic {
+	case "wsp":
+		opts.Heuristic = merlin.WeightedShortestPath
+	case "ratio":
+		opts.Heuristic = merlin.MinMaxRatio
+	case "reserved":
+		opts.Heuristic = merlin.MinMaxReserved
+	default:
+		fatal(fmt.Errorf("unknown heuristic %q", *heuristic))
+	}
+	res, err := merlin.Compile(pol, t, parsePlacement(*placeArg), opts)
+	if err != nil {
+		fatal(err)
+	}
+	c := res.Counts()
+	fmt.Printf("compiled %d statements on %d switches / %d hosts\n",
+		len(res.Policy.Statements), len(t.Switches()), len(t.Hosts()))
+	fmt.Printf("  openflow rules: %d\n  queue configs:  %d\n  tc commands:    %d\n  iptables:       %d\n  click configs:  %d\n",
+		c.OpenFlow, c.Queues, c.TC, c.IPTables, c.Click)
+	fmt.Printf("  timing: preprocess=%v graphs=%v lp-construct=%v lp-solve=%v rateless=%v codegen=%v\n",
+		res.Timing.Preprocess, res.Timing.GraphBuild, res.Timing.LPConstruct,
+		res.Timing.LPSolve, res.Timing.Rateless, res.Timing.Codegen)
+	for id, path := range res.Paths {
+		fmt.Printf("  path %-8s %s\n", id+":", merlin.DescribePath(path))
+	}
+	for id, pls := range res.Placements {
+		for _, pl := range pls {
+			fmt.Printf("  place %-7s %s @ %s\n", id+":", pl.Fn, pl.Location)
+		}
+	}
+	if *verbose {
+		fmt.Println("rules:")
+		for _, r := range res.Output.Rules {
+			fmt.Println("  ", r)
+		}
+		for _, q := range res.Output.Queues {
+			fmt.Printf("  queue sw=%d port=%d q=%d min=%.0fMbps\n", q.Switch, q.Port, q.Queue, q.MinBps/1e6)
+		}
+		for _, hc := range append(res.Output.TC, res.Output.IPTables...) {
+			fmt.Printf("  host %d: %s\n", hc.Host, hc.Command)
+		}
+		for _, cc := range res.Output.Click {
+			fmt.Printf("  click node=%d %s\n", cc.Node, cc.Config)
+		}
+	}
+}
+
+func buildTopology(spec string) (*merlin.Topology, error) {
+	parts := strings.Split(spec, ":")
+	atoi := func(i, def int) int {
+		if i >= len(parts) {
+			return def
+		}
+		v, err := strconv.Atoi(parts[i])
+		if err != nil {
+			return def
+		}
+		return v
+	}
+	switch parts[0] {
+	case "fattree":
+		return topo.FatTree(atoi(1, 4), topo.Gbps), nil
+	case "btree":
+		return topo.BalancedTree(atoi(1, 2), atoi(2, 2), atoi(3, 2), topo.Gbps), nil
+	case "linear":
+		return topo.Linear(atoi(1, 3), topo.Gbps), nil
+	case "stanford":
+		return topo.Stanford(atoi(1, 24), atoi(2, 1), topo.Gbps), nil
+	case "twopath":
+		return topo.TwoPath(400*topo.MBps, 100*topo.MBps), nil
+	case "example":
+		return topo.Example(topo.Gbps), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", spec)
+	}
+}
+
+func parsePlacement(arg string) merlin.Placement {
+	if arg == "" {
+		return nil
+	}
+	place := merlin.Placement{}
+	for _, kv := range strings.Split(arg, ";") {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			continue
+		}
+		place[parts[0]] = strings.Split(parts[1], ",")
+	}
+	return place
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "merlinc:", err)
+	os.Exit(1)
+}

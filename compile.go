@@ -1,0 +1,416 @@
+package merlin
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"merlin/internal/codegen"
+	"merlin/internal/interp"
+	"merlin/internal/logical"
+	"merlin/internal/mip"
+	"merlin/internal/policy"
+	"merlin/internal/pred"
+	"merlin/internal/provision"
+	"merlin/internal/regex"
+	"merlin/internal/sinktree"
+	"merlin/internal/topo"
+)
+
+// Options tune compilation.
+type Options struct {
+	// Heuristic selects the path-selection objective for guaranteed
+	// traffic (default WeightedShortestPath).
+	Heuristic Heuristic
+	// Split overrides the §3.1 localization scheme (default equal split).
+	Split policy.SplitFunc
+	// MIP passes solver limits through to branch and bound.
+	MIP mip.Params
+	// SkipPreprocess compiles the policy as-is; by default the §2.1
+	// pre-processor rewrites overlapping predicates to first-match
+	// semantics and appends a best-effort default statement for totality.
+	SkipPreprocess bool
+	// NoDefault suppresses only the totality default.
+	NoDefault bool
+	// Greedy provisions guarantees with the sequential shortest-path
+	// allocator instead of the exact MIP — the scalable approximation
+	// the ablation benches compare against.
+	Greedy bool
+}
+
+// Timing breaks down where compilation time went — the Table 7 columns.
+type Timing struct {
+	Preprocess  time.Duration
+	GraphBuild  time.Duration
+	LPConstruct time.Duration
+	LPSolve     time.Duration
+	Rateless    time.Duration
+	Codegen     time.Duration
+}
+
+// Total sums all phases.
+func (t Timing) Total() time.Duration {
+	return t.Preprocess + t.GraphBuild + t.LPConstruct + t.LPSolve + t.Rateless + t.Codegen
+}
+
+// Result is the compiler's output.
+type Result struct {
+	// Policy is the preprocessed policy that was compiled.
+	Policy *Policy
+	// Allocations are the localized per-statement rates.
+	Allocations map[string]Alloc
+	// Paths lists, per guaranteed statement, the chosen location names.
+	Paths map[string][]string
+	// Placements lists, per statement, the chosen function placements.
+	Placements map[string][]PlacementChoice
+	// Output holds the generated device configuration.
+	Output *codegen.Output
+	// Programs holds per-host end-host interpreter programs enforcing
+	// caps and payload filters (the §3.4 kernel-module backend).
+	Programs map[NodeID]*interp.Program
+	// Timing breaks down compile phases.
+	Timing Timing
+}
+
+// PlacementChoice records where a function was placed.
+type PlacementChoice struct {
+	Fn       string
+	Location string
+}
+
+// Counts reports the Fig. 4 instruction totals.
+func (r *Result) Counts() codegen.Counts { return r.Output.Counts() }
+
+// Compile runs the full §3 pipeline: preprocess, localize, build logical
+// topologies, provision guaranteed traffic via the MIP, provision
+// best-effort traffic via sink trees, and generate device configurations.
+func Compile(pol *Policy, t *Topology, place Placement, opts Options) (*Result, error) {
+	res := &Result{
+		Paths:      map[string][]string{},
+		Placements: map[string][]PlacementChoice{},
+		Programs:   map[NodeID]*interp.Program{},
+	}
+	// Phase 0: preprocess + localize. First-match semantics for
+	// overlapping predicates is realized through rule priorities rather
+	// than the MakeDisjoint rewrite: the rewrite conjoins each statement
+	// with the negation of all earlier ones, which makes classifier
+	// expansion exponential on large policies, while priorities encode
+	// the same semantics for free.
+	start := time.Now()
+	work := pol
+	if !opts.SkipPreprocess {
+		var err error
+		work, err = policy.Preprocess(pol, policy.PreprocessOptions{
+			AddDefault: !opts.NoDefault,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Policy = work
+	allocs, err := policy.Localize(work.Formula, opts.Split)
+	if err != nil {
+		return nil, err
+	}
+	res.Allocations = allocs
+	res.Timing.Preprocess = time.Since(start)
+
+	ids := t.Identities()
+	alpha := logical.Alphabet(t)
+	alloc := func(id string) Alloc {
+		if a, ok := allocs[id]; ok {
+			return a
+		}
+		return policy.Unconstrained
+	}
+
+	// Phase 1: build per-statement artifacts.
+	type beWork struct {
+		stmt     policy.Statement
+		expr     regex.Expr
+		srcs     []NodeID
+		dsts     []NodeID
+		classify codegen.Classify
+		priority int
+	}
+	var (
+		requests  []provision.Request
+		reqStmt   = map[string]int{} // request ID -> statement priority
+		bestEff   []beWork
+		graphTime time.Duration
+	)
+	n := len(work.Statements)
+	for idx, s := range work.Statements {
+		priority := n - idx
+		expr, err := resolveExpr(s.Path, place, ids)
+		if err != nil {
+			return nil, fmt.Errorf("merlin: statement %s: %w", s.ID, err)
+		}
+		srcs, dsts, err := endpoints(s.Predicate, t, ids)
+		if err != nil {
+			return nil, fmt.Errorf("merlin: statement %s: %w", s.ID, err)
+		}
+		a := alloc(s.ID)
+		if a.Min > 0 {
+			if len(srcs) != 1 || len(dsts) != 1 {
+				return nil, fmt.Errorf("merlin: statement %s: bandwidth guarantees need a unique source and destination", s.ID)
+			}
+			gs := time.Now()
+			g, err := logical.BuildAnchored(t, expr, alpha,
+				t.Node(srcs[0]).Name, t.Node(dsts[0]).Name)
+			if err != nil {
+				return nil, err
+			}
+			graphTime += time.Since(gs)
+			requests = append(requests, provision.Request{ID: s.ID, Graph: g, MinRate: a.Min})
+			reqStmt[s.ID] = priority
+			continue
+		}
+		classify := codegen.ByPredicate
+		if pureConnectivity(s.Predicate) {
+			classify = codegen.ByDestination
+		}
+		bestEff = append(bestEff, beWork{
+			stmt: s, expr: expr, srcs: srcs, dsts: dsts,
+			classify: classify, priority: priority,
+		})
+	}
+	res.Timing.GraphBuild = graphTime
+
+	var plans []codegen.Plan
+
+	// Phase 2: guaranteed traffic through the MIP (§3.2), or the greedy
+	// baseline when requested.
+	if len(requests) > 0 {
+		var sol *provision.Result
+		var err error
+		if opts.Greedy {
+			sol, err = provision.Greedy(t, requests)
+		} else {
+			sol, err = provision.Solve(t, requests, opts.Heuristic, provision.Params{MIP: opts.MIP})
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Timing.LPConstruct = sol.ConstructTime
+		res.Timing.LPSolve = sol.SolveTime
+		for _, r := range requests {
+			steps := sol.Paths[r.ID]
+			stmt, _ := work.Statement(r.ID)
+			srcs, dsts, _ := endpoints(stmt.Predicate, t, ids)
+			plans = append(plans, codegen.Plan{
+				ID: r.ID, Predicate: stmt.Predicate, Priority: reqStmt[r.ID],
+				Alloc: alloc(r.ID), Classify: codegen.ByPredicate,
+				SrcHost: srcs[0], DstHost: dsts[0], Path: steps,
+			})
+			res.Paths[r.ID] = stepNames(t, steps)
+			for _, pl := range logical.PlacementsOf(steps) {
+				res.Placements[r.ID] = append(res.Placements[r.ID],
+					PlacementChoice{Fn: pl.Fn, Location: t.Node(pl.Loc).Name})
+			}
+		}
+	}
+
+	// Phase 3: best-effort sink trees (§3.3).
+	rs := time.Now()
+	graphs := map[string]*logical.Graph{}
+	trees := map[string]*sinktree.Tree{}
+	for _, w := range bestEff {
+		key := w.expr.String()
+		g, ok := graphs[key]
+		if !ok {
+			var err error
+			g, err = logical.BuildMinimized(t, w.expr, alpha)
+			if err != nil {
+				return nil, err
+			}
+			graphs[key] = g
+		}
+		for _, dst := range w.dsts {
+			tkey := fmt.Sprintf("%s→%d", key, dst)
+			tree, ok := trees[tkey]
+			if !ok {
+				var err error
+				tree, err = sinktree.TreeTo(g, dst)
+				if err != nil {
+					return nil, fmt.Errorf("merlin: statement %s: %w", w.stmt.ID, err)
+				}
+				trees[tkey] = tree
+			}
+			for _, src := range w.srcs {
+				if src == dst {
+					continue
+				}
+				plans = append(plans, codegen.Plan{
+					ID: w.stmt.ID, Predicate: w.stmt.Predicate, Priority: w.priority,
+					Alloc: alloc(w.stmt.ID), Classify: w.classify,
+					SrcHost: src, DstHost: dst, Tree: tree,
+				})
+				if steps := tree.PathFrom(src); steps != nil {
+					for _, pl := range logical.PlacementsOf(steps) {
+						res.Placements[w.stmt.ID] = append(res.Placements[w.stmt.ID],
+							PlacementChoice{Fn: pl.Fn, Location: t.Node(pl.Loc).Name})
+					}
+				}
+			}
+		}
+	}
+	res.Timing.Rateless = time.Since(rs)
+
+	// Phase 4: code generation (§3.4).
+	cs := time.Now()
+	out, err := codegen.Generate(t, plans)
+	if err != nil {
+		return nil, err
+	}
+	res.Output = out
+	res.buildPrograms(t, work, allocs, ids)
+	res.Timing.Codegen = time.Since(cs)
+	return res, nil
+}
+
+// buildPrograms emits end-host interpreter programs: rate limits for caps
+// and drops for payload-matching filters iptables cannot express.
+func (r *Result) buildPrograms(t *Topology, pol *Policy, allocs map[string]Alloc, ids *topo.IdentityTable) {
+	for _, s := range pol.Statements {
+		a, ok := allocs[s.ID]
+		if !ok || a.Max == 0 || a.Max != a.Max { // no alloc or NaN guard
+			continue
+		}
+		if a.Max > 0 && !isInf(a.Max) {
+			srcs, _, err := endpoints(s.Predicate, t, ids)
+			if err != nil {
+				continue
+			}
+			for _, src := range srcs {
+				prog := r.Programs[src]
+				if prog == nil {
+					prog = &interp.Program{Name: t.Node(src).Name}
+					r.Programs[src] = prog
+				}
+				prog.Clauses = append(prog.Clauses, interp.Clause{
+					Pred: s.Predicate, Op: interp.OpRateLimit, RateBps: a.Max,
+				})
+			}
+		}
+	}
+}
+
+func isInf(v float64) bool { return v > 1e300 }
+
+// resolveExpr substitutes function placements into the path expression and
+// rewrites host-identity symbols (MACs, IPs) into topology node names.
+func resolveExpr(e regex.Expr, place Placement, ids *topo.IdentityTable) (regex.Expr, error) {
+	if len(place) > 0 {
+		e = regex.Substitute(e, place)
+	}
+	var rewrite func(regex.Expr) regex.Expr
+	rewrite = func(e regex.Expr) regex.Expr {
+		switch x := e.(type) {
+		case regex.Sym:
+			if node, ok := ids.Resolve(x.Name); ok {
+				return regex.Sym{Name: nodeName(ids, node, x.Name)}
+			}
+			return x
+		case regex.Concat:
+			return regex.Concat{L: rewrite(x.L), R: rewrite(x.R)}
+		case regex.Alt:
+			return regex.Alt{L: rewrite(x.L), R: rewrite(x.R)}
+		case regex.Star:
+			return regex.Star{X: rewrite(x.X)}
+		case regex.Not:
+			return regex.Not{X: rewrite(x.X)}
+		default:
+			return e
+		}
+	}
+	return rewrite(e), nil
+}
+
+func nodeName(ids *topo.IdentityTable, node topo.NodeID, fallback string) string {
+	if ident, ok := ids.Of(node); ok {
+		return ident.Name
+	}
+	return fallback
+}
+
+// endpoints derives the source and destination host sets a predicate pins
+// down. Cubes lacking a source (destination) atom widen the set to all
+// hosts.
+func endpoints(p pred.Pred, t *Topology, ids *topo.IdentityTable) (srcs, dsts []NodeID, err error) {
+	cubes, err := pred.PositiveCubes(p)
+	if err != nil {
+		// Expansion can blow up on heavily-negated predicates (the
+		// totality default). Such predicates pin no endpoints anyway.
+		return t.Hosts(), t.Hosts(), nil
+	}
+	srcSet := map[NodeID]bool{}
+	dstSet := map[NodeID]bool{}
+	srcAll, dstAll := false, false
+	for _, cube := range cubes {
+		var cubeSrc, cubeDst *NodeID
+		for _, test := range cube {
+			switch test.Field {
+			case "eth.src", "ip.src":
+				if n, ok := ids.Resolve(test.Value); ok {
+					v := n
+					cubeSrc = &v
+				}
+			case "eth.dst", "ip.dst":
+				if n, ok := ids.Resolve(test.Value); ok {
+					v := n
+					cubeDst = &v
+				}
+			}
+		}
+		if cubeSrc != nil {
+			srcSet[*cubeSrc] = true
+		} else {
+			srcAll = true
+		}
+		if cubeDst != nil {
+			dstSet[*cubeDst] = true
+		} else {
+			dstAll = true
+		}
+	}
+	collect := func(set map[NodeID]bool, all bool) []NodeID {
+		if all || len(set) == 0 {
+			return t.Hosts()
+		}
+		var out []NodeID
+		for _, h := range t.Hosts() {
+			if set[h] {
+				out = append(out, h)
+			}
+		}
+		return out
+	}
+	return collect(srcSet, srcAll), collect(dstSet, dstAll), nil
+}
+
+// pureConnectivity reports whether the predicate only constrains the
+// source and destination identities, enabling the compact ByDestination
+// classifier.
+func pureConnectivity(p pred.Pred) bool {
+	for _, f := range pred.Fields(p) {
+		switch f {
+		case "eth.src", "eth.dst", "ip.src", "ip.dst":
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func stepNames(t *Topology, steps []logical.Step) []string {
+	locs := logical.Locations(steps)
+	out := make([]string, len(locs))
+	for i, l := range locs {
+		out[i] = t.Node(l).Name
+	}
+	return out
+}
+
+// DescribePath renders a compiled path for human output.
+func DescribePath(names []string) string { return strings.Join(names, " → ") }

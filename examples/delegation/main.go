@@ -1,0 +1,98 @@
+// Delegation: the §4 negotiator workflow — delegate a capped policy to a
+// tenant, verify a valid refinement and reject an invalid one, renegotiate
+// bandwidth over the TCP protocol, and run the AIMD/MMFS adaptation
+// schemes of Fig. 10.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	merlin "merlin"
+	"merlin/internal/negotiate"
+	"merlin/internal/policy"
+	"merlin/internal/pred"
+)
+
+func main() {
+	// The §4.1 example: all pair traffic capped at 100 MB/s.
+	original, err := policy.Parse(`
+[ x : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2) -> .* ],
+max(x, 100MB/s)
+`, policy.Env{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	root := merlin.NewNegotiator("admin", original)
+	tenant, err := root.Delegate("tenant-a", pred.True)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The tenant refines: web logged at 50, ssh 25, the rest through dpi
+	// at 25 — exactly the paper's §4.1 transformation.
+	refined, err := policy.Parse(`
+[ x : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2 and tcp.dst = 80) -> .* log .*
+  y : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2 and tcp.dst = 22) -> .*
+  z : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2 and
+       !(tcp.dst = 22 or tcp.dst = 80)) -> .* dpi .* ],
+max(x, 50MB/s) and max(y, 25MB/s) and max(z, 25MB/s)
+`, policy.Env{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	recompile, err := tenant.Propose(refined)
+	if err != nil {
+		log.Fatal("valid refinement rejected: ", err)
+	}
+	fmt.Printf("refinement accepted (recompilation needed: %v)\n", recompile)
+
+	// An over-allocation is caught by verification.
+	greedy, _ := policy.Parse(`
+[ x : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2) -> .* ],
+max(x, 400MB/s)
+`, policy.Env{})
+	if _, err := tenant.Propose(greedy); err != nil {
+		fmt.Println("over-allocation rejected:", err)
+	}
+
+	// Bandwidth renegotiation over TCP: two tenants share 100 Mbps.
+	srv := negotiate.NewServer(100e6)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	a, err := negotiate.Dial(ln.Addr().String(), "tenant-a")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer a.Close()
+	b, err := negotiate.Dial(ln.Addr().String(), "tenant-b")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer b.Close()
+	ga, _ := a.Demand(80e6)
+	gb, _ := b.Demand(80e6)
+	ga, _ = a.Demand(80e6) // re-demand after b joined
+	fmt.Printf("negotiated: tenant-a %.0f Mbps, tenant-b %.0f Mbps\n", ga/1e6, gb/1e6)
+
+	// Fig. 10 adaptation schemes.
+	aimd, err := negotiate.RunAIMD(negotiate.AIMDConfig{Seconds: 30})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("AIMD mean rates: %s %.0f Mbps, %s %.0f Mbps (sawtooth sharing)\n",
+		aimd[0].Name, aimd[0].Mean()/1e6, aimd[1].Name, aimd[1].Mean()/1e6)
+	mmfs, err := negotiate.RunMMFS(negotiate.MMFSConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	last := len(mmfs[0].Samples) - 1
+	fmt.Printf("MMFS final rates: %s %.0f Mbps, %s %.0f Mbps (fair convergence)\n",
+		mmfs[0].Name, mmfs[0].Samples[last].Rate/1e6,
+		mmfs[1].Name, mmfs[1].Samples[last].Rate/1e6)
+}

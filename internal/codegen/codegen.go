@@ -1,0 +1,427 @@
+// Package codegen turns provisioned paths and sink trees into device-level
+// configuration (§3.4): OpenFlow rules using VLAN tags to pin forwarding
+// paths (one tag per sink tree or guaranteed path, FlowTags-style), QoS
+// queue configurations for bandwidth guarantees, tc commands for host-side
+// rate limits, iptables commands for host-side filters, and Click
+// configurations for middlebox packet-processing functions.
+package codegen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"merlin/internal/logical"
+	"merlin/internal/openflow"
+	"merlin/internal/packet"
+	"merlin/internal/policy"
+	"merlin/internal/pred"
+	"merlin/internal/sinktree"
+	"merlin/internal/topo"
+)
+
+// Classify selects how a statement's ingress rules match packets.
+type Classify int
+
+// Classification modes.
+const (
+	// ByPredicate expands the statement predicate into positive-cube
+	// match rules (one per cube) at first-match priority.
+	ByPredicate Classify = iota
+	// ByDestination matches only the destination MAC — the compact form
+	// for plain connectivity statements sharing a destination sink tree.
+	ByDestination
+)
+
+// Plan is the compiled artifact of one statement handed to code
+// generation.
+type Plan struct {
+	ID        string
+	Predicate pred.Pred
+	// Priority orders classification: earlier statements shadow later
+	// ones (first-match). Higher values win.
+	Priority int
+	Alloc    policy.Alloc
+	Classify Classify
+
+	// SrcHost/DstHost are the endpoints resolved from the predicate.
+	SrcHost, DstHost topo.NodeID
+
+	// Path is the provisioned path for guaranteed statements; Tree the
+	// sink tree for best-effort ones. Exactly one must be set.
+	Path []logical.Step
+	Tree *sinktree.Tree
+
+	// Drop marks statements whose traffic must be filtered at the edge.
+	Drop bool
+}
+
+// HostCommand is a generated end-host configuration line.
+type HostCommand struct {
+	Host    topo.NodeID
+	Kind    string // "tc" or "iptables"
+	Command string
+}
+
+// QueueConfig is one switch-port QoS queue reservation.
+type QueueConfig struct {
+	Switch topo.NodeID
+	Port   topo.LinkID
+	Queue  int
+	MinBps float64
+}
+
+// ClickConfig configures one packet-processing function instance on a
+// middlebox (or host running the Click substrate).
+type ClickConfig struct {
+	Node   topo.NodeID
+	Fn     string
+	Config string
+}
+
+// Output is everything the compiler emits for the dataplane.
+type Output struct {
+	Rules    []openflow.Rule
+	Queues   []QueueConfig
+	TC       []HostCommand
+	IPTables []HostCommand
+	Click    []ClickConfig
+	// Tags maps statement IDs to the VLAN tags allocated for them.
+	Tags map[string][]int
+}
+
+// Counts summarizes instruction totals per backend — the Fig. 4 metric.
+type Counts struct {
+	OpenFlow, Queues, TC, IPTables, Click int
+}
+
+// Counts tallies the output.
+func (o *Output) Counts() Counts {
+	return Counts{
+		OpenFlow: len(o.Rules),
+		Queues:   len(o.Queues),
+		TC:       len(o.TC),
+		IPTables: len(o.IPTables),
+		Click:    len(o.Click),
+	}
+}
+
+// Total is the grand instruction total.
+func (c Counts) Total() int { return c.OpenFlow + c.Queues + c.TC + c.IPTables + c.Click }
+
+// generator carries emission state.
+type generator struct {
+	t   *topo.Topology
+	ids *topo.IdentityTable
+	out *Output
+	// bound dedups forwarding rules: (switch, vlan, inPort) → rule index.
+	bound map[ruleKey]int
+	// classBound dedups classification rules.
+	classBound map[string]bool
+	// queueBound dedups queue configs and allocates queue ids per port.
+	queueBound map[string]bool
+	queueNext  map[topo.LinkID]int
+	nextTag    int
+}
+
+type ruleKey struct {
+	sw   topo.NodeID
+	vlan int
+	in   topo.LinkID
+}
+
+// Generate emits configuration for all plans.
+func Generate(t *topo.Topology, plans []Plan) (*Output, error) {
+	g := &generator{
+		t:          t,
+		ids:        t.Identities(),
+		out:        &Output{Tags: map[string][]int{}},
+		bound:      map[ruleKey]int{},
+		classBound: map[string]bool{},
+		queueBound: map[string]bool{},
+		queueNext:  map[topo.LinkID]int{},
+		nextTag:    2, // VLAN IDs 0/1 are reserved on real switches
+	}
+	// Stable order: guaranteed paths first (their classification has
+	// higher effective priority anyway), then by ID.
+	ordered := append([]Plan(nil), plans...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Priority > ordered[j].Priority })
+	// Tree tag sharing: plans pointing at the same sink tree share tags.
+	treeTags := map[*sinktree.Tree]int{}
+	for _, p := range ordered {
+		switch {
+		case p.Drop:
+			g.emitDrop(p)
+		case p.Path != nil:
+			if err := g.emitPath(p, p.Path, g.allocTag(p.ID), true); err != nil {
+				return nil, fmt.Errorf("codegen: statement %s: %w", p.ID, err)
+			}
+		case p.Tree != nil:
+			tag, ok := treeTags[p.Tree]
+			if !ok {
+				tag = g.allocTag(p.ID)
+				treeTags[p.Tree] = tag
+			} else {
+				g.out.Tags[p.ID] = append(g.out.Tags[p.ID], tag)
+			}
+			steps := p.Tree.PathFrom(p.SrcHost)
+			if steps == nil {
+				return nil, fmt.Errorf("codegen: statement %s: %s cannot reach %s under the path constraint",
+					p.ID, t.Node(p.SrcHost).Name, t.Node(p.DstHost).Name)
+			}
+			if err := g.emitPath(p, steps, tag, false); err != nil {
+				return nil, fmt.Errorf("codegen: statement %s: %w", p.ID, err)
+			}
+		default:
+			return nil, fmt.Errorf("codegen: statement %s has neither path nor tree", p.ID)
+		}
+		g.emitHostConfig(p)
+	}
+	return g.out, nil
+}
+
+func (g *generator) allocTag(id string) int {
+	tag := g.nextTag
+	g.nextTag++
+	if g.nextTag >= 4095 {
+		panic("codegen: VLAN tag space exhausted")
+	}
+	g.out.Tags[id] = append(g.out.Tags[id], tag)
+	return tag
+}
+
+// emitDrop installs an edge filter at the source host's ingress switch.
+func (g *generator) emitDrop(p Plan) {
+	att, ok := g.t.Attachment(p.SrcHost)
+	if !ok {
+		return
+	}
+	cubes, err := pred.PositiveCubes(p.Predicate)
+	if err != nil || len(cubes) == 0 {
+		cubes = [][]pred.Test{nil}
+	}
+	for range cubes {
+		g.out.Rules = append(g.out.Rules, openflow.Rule{
+			Switch:   att,
+			Priority: 1000 + p.Priority,
+			Match:    openflow.Match{InPort: openflow.MatchAny, VLAN: packet.VLANNone, Predicate: p.Predicate},
+			Actions:  []openflow.Action{openflow.Drop{}},
+		})
+	}
+	ident, _ := g.ids.Of(p.SrcHost)
+	g.out.IPTables = append(g.out.IPTables, HostCommand{
+		Host: p.SrcHost,
+		Kind: "iptables",
+		Command: fmt.Sprintf("iptables -A OUTPUT -m merlin --stmt %s -s %s -j DROP",
+			p.ID, ident.IP),
+	})
+}
+
+// emitPath walks a physical path and emits tag-switched forwarding rules,
+// classification at the ingress switch, queue configurations for
+// guarantees, and Click configurations for middlebox function placements.
+func (g *generator) emitPath(p Plan, steps []logical.Step, tag int, guaranteed bool) error {
+	locs := logical.Locations(steps)
+	if len(locs) < 2 {
+		return fmt.Errorf("degenerate path")
+	}
+	if g.t.Node(locs[0]).Kind != topo.Host || g.t.Node(locs[len(locs)-1]).Kind != topo.Host {
+		return fmt.Errorf("path endpoints must be hosts")
+	}
+	// Click configs for middlebox placements; host placements run on the
+	// end-host Click substrate too.
+	for _, pl := range logical.PlacementsOf(steps) {
+		g.out.Click = append(g.out.Click, ClickConfig{
+			Node:   pl.Loc,
+			Fn:     pl.Fn,
+			Config: fmt.Sprintf("%s :: %s(STMT %s);", pl.Fn, strings.ToUpper(pl.Fn), p.ID),
+		})
+	}
+	curTag := tag
+	classified := false
+	for i := 1; i < len(locs)-1; i++ {
+		node := locs[i]
+		if g.t.Node(node).Kind != topo.Switch {
+			continue // middlebox hops bounce; host interiors impossible
+		}
+		inLink, ok := g.t.FindLink(locs[i-1], node)
+		if !ok {
+			return fmt.Errorf("no link %s-%s", g.t.Node(locs[i-1]).Name, g.t.Node(node).Name)
+		}
+		outLink, ok := g.t.FindLink(node, locs[i+1])
+		if !ok {
+			return fmt.Errorf("no link %s-%s", g.t.Node(node).Name, g.t.Node(locs[i+1]).Name)
+		}
+		last := i == len(locs)-2
+		var fwd openflow.Action = openflow.Output{Port: outLink.ID}
+		if guaranteed {
+			q := g.queueFor(node, outLink.ID, p.Alloc.Min)
+			fwd = openflow.Enqueue{Port: outLink.ID, Queue: q}
+		}
+		if !classified {
+			// Ingress classification: untagged packets matching the
+			// statement's predicate get the path tag.
+			g.emitClassification(p, node, inLink.ID, curTag, fwd, last)
+			classified = true
+			continue
+		}
+		key := ruleKey{sw: node, vlan: curTag, in: inLink.ID}
+		actions := []openflow.Action{fwd}
+		if last {
+			actions = []openflow.Action{openflow.StripVLAN{}, fwd}
+		}
+		if idx, exists := g.bound[key]; exists {
+			if !sameActions(g.out.Rules[idx].Actions, actions) {
+				// Conflict: this (switch, tag, port) already forwards
+				// elsewhere. Retag the previous hop onto a fresh tag.
+				fresh := g.allocTag(p.ID)
+				if err := g.retagPrevious(p, locs, i, curTag, fresh); err != nil {
+					return err
+				}
+				curTag = fresh
+				key.vlan = curTag
+				g.out.Rules = append(g.out.Rules, openflow.Rule{
+					Switch:   node,
+					Priority: 500,
+					Match:    openflow.Match{InPort: inLink.ID, VLAN: curTag},
+					Actions:  actions,
+				})
+				g.bound[key] = len(g.out.Rules) - 1
+			}
+			continue
+		}
+		g.out.Rules = append(g.out.Rules, openflow.Rule{
+			Switch:   node,
+			Priority: 500,
+			Match:    openflow.Match{InPort: inLink.ID, VLAN: curTag},
+			Actions:  actions,
+		})
+		g.bound[key] = len(g.out.Rules) - 1
+	}
+	if !classified {
+		return fmt.Errorf("path contains no switch")
+	}
+	return nil
+}
+
+// retagPrevious rewrites the rule emitted for the hop before position i so
+// the packet arrives with the fresh tag.
+func (g *generator) retagPrevious(p Plan, locs []topo.NodeID, i, oldTag, fresh int) error {
+	// Find the previous switch hop.
+	for j := i - 1; j >= 1; j-- {
+		if g.t.Node(locs[j]).Kind != topo.Switch {
+			continue
+		}
+		inLink, _ := g.t.FindLink(locs[j-1], locs[j])
+		key := ruleKey{sw: locs[j], vlan: oldTag, in: inLink.ID}
+		idx, ok := g.bound[key]
+		if !ok {
+			return fmt.Errorf("retag: no prior rule at %s", g.t.Node(locs[j]).Name)
+		}
+		rule := &g.out.Rules[idx]
+		rule.Actions = append([]openflow.Action{openflow.SetVLAN{VLAN: fresh}}, rule.Actions...)
+		return nil
+	}
+	return fmt.Errorf("retag: no prior switch hop")
+}
+
+// emitClassification installs the ingress rules mapping untagged packets
+// of the statement onto the path tag.
+func (g *generator) emitClassification(p Plan, sw topo.NodeID, in topo.LinkID, tag int, fwd openflow.Action, last bool) {
+	actions := []openflow.Action{openflow.SetVLAN{VLAN: tag}, fwd}
+	if last {
+		// Single-switch path: tag would be stripped immediately; skip
+		// tagging altogether.
+		actions = []openflow.Action{fwd}
+	}
+	switch p.Classify {
+	case ByDestination:
+		ident, _ := g.ids.Of(p.DstHost)
+		key := fmt.Sprintf("dst/%d/%d/%s", sw, tag, ident.MAC)
+		if g.classBound[key] {
+			return
+		}
+		g.classBound[key] = true
+		g.out.Rules = append(g.out.Rules, openflow.Rule{
+			Switch:   sw,
+			Priority: 100 + p.Priority,
+			Match:    openflow.Match{InPort: openflow.MatchAny, VLAN: packet.VLANNone, EthDst: ident.MAC},
+			Actions:  actions,
+		})
+	default:
+		cubes, err := pred.PositiveCubes(p.Predicate)
+		exact := err != nil // expansion too large: match the full predicate in one rule
+		if len(cubes) == 0 {
+			cubes = [][]pred.Test{nil}
+		}
+		for _, cube := range cubes {
+			cubePred := cubeToPred(cube)
+			if exact {
+				cubePred = p.Predicate
+			}
+			key := fmt.Sprintf("pred/%d/%d/%s", sw, tag, pred.Format(cubePred))
+			if g.classBound[key] {
+				continue
+			}
+			g.classBound[key] = true
+			g.out.Rules = append(g.out.Rules, openflow.Rule{
+				Switch:   sw,
+				Priority: 100 + p.Priority,
+				Match:    openflow.Match{InPort: in, VLAN: packet.VLANNone, Predicate: cubePred},
+				Actions:  actions,
+			})
+		}
+	}
+}
+
+func cubeToPred(cube []pred.Test) pred.Pred {
+	ps := make([]pred.Pred, len(cube))
+	for i, t := range cube {
+		ps[i] = t
+	}
+	return pred.Conj(ps...)
+}
+
+// queueFor allocates (or reuses) a QoS queue on the given port with the
+// statement's guaranteed rate.
+func (g *generator) queueFor(sw topo.NodeID, port topo.LinkID, minBps float64) int {
+	key := fmt.Sprintf("%d/%d/%g", sw, port, minBps)
+	if g.queueBound[key] {
+		// Reuse: find the existing config.
+		for _, q := range g.out.Queues {
+			if q.Switch == sw && q.Port == port && q.MinBps == minBps {
+				return q.Queue
+			}
+		}
+	}
+	g.queueBound[key] = true
+	q := g.queueNext[port] + 1
+	g.queueNext[port] = q
+	g.out.Queues = append(g.out.Queues, QueueConfig{Switch: sw, Port: port, Queue: q, MinBps: minBps})
+	return q
+}
+
+// emitHostConfig generates tc caps and iptables markers at the source host.
+func (g *generator) emitHostConfig(p Plan) {
+	if p.Alloc.Max != 0 && !math.IsInf(p.Alloc.Max, 1) {
+		g.out.TC = append(g.out.TC, HostCommand{
+			Host: p.SrcHost,
+			Kind: "tc",
+			Command: fmt.Sprintf("tc class add dev eth0 parent 1: classid 1:%s htb rate %.0fkbit ceil %.0fkbit",
+				p.ID, p.Alloc.Max/1e3, p.Alloc.Max/1e3),
+		})
+	}
+}
+
+func sameActions(a, b []openflow.Action) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,339 @@
+package codegen
+
+import (
+	"math"
+	"testing"
+
+	"merlin/internal/logical"
+	"merlin/internal/openflow"
+	"merlin/internal/packet"
+	"merlin/internal/policy"
+	"merlin/internal/pred"
+	"merlin/internal/regex"
+	"merlin/internal/sinktree"
+	"merlin/internal/topo"
+)
+
+// pairPred builds the (eth.src, eth.dst) predicate for two hosts.
+func pairPred(t *testing.T, tp *topo.Topology, src, dst topo.NodeID) pred.Pred {
+	t.Helper()
+	ids := tp.Identities()
+	si, _ := ids.Of(src)
+	di, _ := ids.Of(dst)
+	return pred.Conj(
+		pred.Test{Field: "eth.src", Value: si.MAC},
+		pred.Test{Field: "eth.dst", Value: di.MAC},
+	)
+}
+
+func graphFor(t testing.TB, tp *topo.Topology, expr string, placement map[string][]string) *logical.Graph {
+	t.Helper()
+	e := regex.MustParse(expr)
+	if placement != nil {
+		e = regex.Substitute(e, placement)
+	}
+	g, err := logical.BuildMinimized(tp, e, logical.Alphabet(tp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// inject sends a TCP packet between two hosts through the compiled rules.
+func inject(t *testing.T, tp *topo.Topology, out *Output, src, dst topo.NodeID, dstPort uint16) openflow.Trace {
+	t.Helper()
+	net := openflow.NewNetwork(tp)
+	net.Install(out.Rules)
+	for _, mb := range tp.Middleboxes() {
+		net.AddMiddleboxFunction(mb, openflow.Identity)
+	}
+	ids := tp.Identities()
+	si, _ := ids.Of(src)
+	di, _ := ids.Of(dst)
+	pkt := packet.TCPPacket(si.MAC, di.MAC, si.IP, di.IP, 12345, dstPort, []byte("x"))
+	return net.Inject(src, pkt)
+}
+
+func TestBestEffortTreeForwarding(t *testing.T) {
+	tp := topo.Linear(3, topo.Gbps)
+	h1, h2 := tp.MustLookup("h1"), tp.MustLookup("h2")
+	g := graphFor(t, tp, ".*", nil)
+	tree, err := sinktree.TreeTo(g, h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := []Plan{{
+		ID: "a", Predicate: pairPred(t, tp, h1, h2), Priority: 10,
+		Alloc: policy.Unconstrained, Classify: ByDestination,
+		SrcHost: h1, DstHost: h2, Tree: tree,
+	}}
+	out, err := Generate(tp, plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := inject(t, tp, out, h1, h2, 80)
+	if !tr.Delivered || tr.DeliveredTo != h2 {
+		t.Fatalf("not delivered: %v (%v)", tr.Dropped, tr.HopNames(tp))
+	}
+	if tr.Final.VLAN != packet.VLANNone {
+		t.Error("tag not stripped at egress")
+	}
+}
+
+func TestGuaranteedPathForwardingAndQueues(t *testing.T) {
+	tp := topo.Linear(3, topo.Gbps)
+	h1, h2 := tp.MustLookup("h1"), tp.MustLookup("h2")
+	g := graphFor(t, tp, ".*", nil)
+	// Provision the path directly via shortest path (unit under test is
+	// codegen, not the MIP).
+	gg := graphFor(t, tp, "h1 .* h2", nil)
+	steps, err := gg.DecodePath(gg.ShortestPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = g
+	plans := []Plan{{
+		ID: "gold", Predicate: pairPred(t, tp, h1, h2), Priority: 20,
+		Alloc:   policy.Alloc{Min: 100 * topo.Mbps, Max: math.Inf(1)},
+		SrcHost: h1, DstHost: h2, Path: steps,
+	}}
+	out, err := Generate(tp, plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Queues) != 3 { // one queue per switch hop (s0,s1,s2)
+		t.Fatalf("queues = %d, want 3", len(out.Queues))
+	}
+	for _, q := range out.Queues {
+		if q.MinBps != 100*topo.Mbps {
+			t.Errorf("queue rate = %v", q.MinBps)
+		}
+	}
+	tr := inject(t, tp, out, h1, h2, 80)
+	if !tr.Delivered {
+		t.Fatalf("not delivered: %v (%v)", tr.Dropped, tr.HopNames(tp))
+	}
+}
+
+func TestMiddleboxWaypointForwarding(t *testing.T) {
+	// Fig. 2: traffic h1→h2 must detour through m1; verify the emitted
+	// rules actually bounce packets via the middlebox.
+	tp := topo.Example(topo.Gbps)
+	h1, h2 := tp.MustLookup("h1"), tp.MustLookup("h2")
+	g := graphFor(t, tp, ".* dpi .*", map[string][]string{"dpi": {"m1"}})
+	tree, err := sinktree.TreeTo(g, h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := []Plan{{
+		ID: "w", Predicate: pairPred(t, tp, h1, h2), Priority: 10,
+		Alloc: policy.Unconstrained, SrcHost: h1, DstHost: h2, Tree: tree,
+	}}
+	out, err := Generate(tp, plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := inject(t, tp, out, h1, h2, 80)
+	if !tr.Delivered {
+		t.Fatalf("not delivered: %v (%v)", tr.Dropped, tr.HopNames(tp))
+	}
+	visited := false
+	for _, n := range tr.HopNames(tp) {
+		if n == "m1" {
+			visited = true
+		}
+	}
+	if !visited {
+		t.Fatalf("packet skipped the middlebox: %v", tr.HopNames(tp))
+	}
+	if len(out.Click) == 0 {
+		t.Error("no Click config emitted for the dpi placement")
+	}
+}
+
+func TestClassificationPriorities(t *testing.T) {
+	// Two statements: web traffic via middlebox, rest direct. A web
+	// packet must take the detour, an ssh packet must not.
+	tp := topo.Example(topo.Gbps)
+	h1, h2 := tp.MustLookup("h1"), tp.MustLookup("h2")
+	pair := pairPred(t, tp, h1, h2)
+	web := pred.Conj(pair, pred.Test{Field: "tcp.dst", Value: "80"})
+
+	gWeb := graphFor(t, tp, ".* dpi .*", map[string][]string{"dpi": {"m1"}})
+	treeWeb, err := sinktree.TreeTo(gWeb, h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gAll := graphFor(t, tp, ".*", nil)
+	treeAll, err := sinktree.TreeTo(gAll, h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := []Plan{
+		{ID: "web", Predicate: web, Priority: 20, Alloc: policy.Unconstrained,
+			SrcHost: h1, DstHost: h2, Tree: treeWeb},
+		{ID: "rest", Predicate: pair, Priority: 10, Alloc: policy.Unconstrained,
+			SrcHost: h1, DstHost: h2, Tree: treeAll},
+	}
+	out, err := Generate(tp, plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	webTrace := inject(t, tp, out, h1, h2, 80)
+	sshTrace := inject(t, tp, out, h1, h2, 22)
+	if !webTrace.Delivered || !sshTrace.Delivered {
+		t.Fatalf("delivery failed: web=%v ssh=%v", webTrace.Dropped, sshTrace.Dropped)
+	}
+	sawMbox := func(tr openflow.Trace) bool {
+		for _, n := range tr.HopNames(tp) {
+			if n == "m1" {
+				return true
+			}
+		}
+		return false
+	}
+	if !sawMbox(webTrace) {
+		t.Errorf("web packet skipped dpi: %v", webTrace.HopNames(tp))
+	}
+	if sawMbox(sshTrace) {
+		t.Errorf("ssh packet detoured through dpi: %v", sshTrace.HopNames(tp))
+	}
+}
+
+func TestDropPlan(t *testing.T) {
+	tp := topo.Linear(2, topo.Gbps)
+	h1, h2 := tp.MustLookup("h1"), tp.MustLookup("h2")
+	plans := []Plan{{
+		ID: "blocked", Predicate: pairPred(t, tp, h1, h2), Priority: 30,
+		Alloc: policy.Unconstrained, SrcHost: h1, DstHost: h2, Drop: true,
+	}}
+	out, err := Generate(tp, plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.IPTables) != 1 {
+		t.Fatalf("iptables = %d, want 1", len(out.IPTables))
+	}
+	tr := inject(t, tp, out, h1, h2, 80)
+	if tr.Delivered {
+		t.Fatal("dropped traffic was delivered")
+	}
+}
+
+func TestTCForCaps(t *testing.T) {
+	tp := topo.Linear(2, topo.Gbps)
+	h1, h2 := tp.MustLookup("h1"), tp.MustLookup("h2")
+	g := graphFor(t, tp, ".*", nil)
+	tree, err := sinktree.TreeTo(g, h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := []Plan{{
+		ID: "capped", Predicate: pairPred(t, tp, h1, h2), Priority: 10,
+		Alloc:   policy.Alloc{Min: 0, Max: 50 * topo.MBps},
+		SrcHost: h1, DstHost: h2, Tree: tree,
+	}}
+	out, err := Generate(tp, plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.TC) != 1 {
+		t.Fatalf("tc commands = %d, want 1", len(out.TC))
+	}
+	if out.TC[0].Host != h1 {
+		t.Error("cap installed at wrong host")
+	}
+}
+
+func TestSharedTreeRulesAreDeduplicated(t *testing.T) {
+	// All-pairs to one destination: rules toward the shared destination
+	// must be shared, so total rules grow sub-linearly in sources.
+	tp := topo.Star(4, 2, topo.Gbps) // 8 hosts
+	hosts := tp.Hosts()
+	dst := hosts[0]
+	g := graphFor(t, tp, ".*", nil)
+	tree, err := sinktree.TreeTo(g, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plans []Plan
+	for _, src := range hosts[1:] {
+		plans = append(plans, Plan{
+			ID: "to0from" + tp.Node(src).Name, Predicate: pairPred(t, tp, src, dst),
+			Priority: 10, Alloc: policy.Unconstrained, Classify: ByDestination,
+			SrcHost: src, DstHost: dst, Tree: tree,
+		})
+	}
+	out, err := Generate(tp, plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ByDestination classification: one rule per ingress switch (4 at
+	// most) plus shared forwarding rules — far fewer than 7 × path-length.
+	if got := len(out.Rules); got > 15 {
+		t.Fatalf("rules = %d, want heavy sharing (<=15)", got)
+	}
+	// Every source still reaches dst.
+	for _, src := range hosts[1:] {
+		tr := inject(t, tp, out, src, dst, 80)
+		if !tr.Delivered {
+			t.Fatalf("%s -> dst failed: %v", tp.Node(src).Name, tr.Dropped)
+		}
+	}
+}
+
+func TestAllPairsFatTreeEndToEnd(t *testing.T) {
+	// Compile all-pairs connectivity on a k=4 fat tree and verify a
+	// sample of host pairs deliver.
+	tp := topo.FatTree(4, topo.Gbps)
+	hosts := tp.Hosts()
+	g := graphFor(t, tp, ".*", nil)
+	trees, _, err := sinktree.BuildTrees(g, hosts, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plans []Plan
+	prio := len(hosts) * len(hosts)
+	for _, src := range hosts {
+		for _, dst := range hosts {
+			if src == dst {
+				continue
+			}
+			plans = append(plans, Plan{
+				ID:        tp.Node(src).Name + "-" + tp.Node(dst).Name,
+				Predicate: pairPred(t, tp, src, dst),
+				Priority:  prio, Alloc: policy.Unconstrained,
+				Classify: ByDestination,
+				SrcHost:  src, DstHost: dst, Tree: trees[dst],
+			})
+			prio--
+		}
+	}
+	out, err := Generate(tp, plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(hosts); i++ {
+		src := hosts[i]
+		dst := hosts[(i+5)%len(hosts)]
+		if src == dst {
+			continue
+		}
+		tr := inject(t, tp, out, src, dst, 80)
+		if !tr.Delivered || tr.DeliveredTo != dst {
+			t.Fatalf("%s -> %s failed: %v (%v)", tp.Node(src).Name, tp.Node(dst).Name,
+				tr.Dropped, tr.HopNames(tp))
+		}
+	}
+	c := out.Counts()
+	if c.OpenFlow == 0 || c.Total() != c.OpenFlow {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+func TestCountsTotals(t *testing.T) {
+	c := Counts{OpenFlow: 3, Queues: 2, TC: 1, IPTables: 1, Click: 1}
+	if c.Total() != 8 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"merlin/internal/logical"
+	"merlin/internal/policy"
+	"merlin/internal/provision"
+	"merlin/internal/regex"
+	"merlin/internal/topo"
+	"merlin/internal/verify"
+)
+
+// AblationHeuristics runs the three Fig. 3 path-selection objectives on
+// the two-path topology and reports the quantities each optimizes.
+func AblationHeuristics() ([]Row, error) {
+	t := topo.TwoPath(400*topo.MBps, 100*topo.MBps)
+	alpha := logical.Alphabet(t)
+	g, err := logical.BuildMinimized(t, regex.MustParse("h1 .* h2"), alpha)
+	if err != nil {
+		return nil, err
+	}
+	reqs := []provision.Request{
+		{ID: "a", Graph: g, MinRate: 50 * topo.MBps},
+		{ID: "b", Graph: g, MinRate: 50 * topo.MBps},
+	}
+	var rows []Row
+	for _, h := range []provision.Heuristic{
+		provision.WeightedShortestPath, provision.MinMaxRatio, provision.MinMaxReserved,
+	} {
+		res, err := provision.Solve(t, reqs, h, provision.Params{})
+		if err != nil {
+			return nil, err
+		}
+		hops := 0
+		for _, steps := range res.Paths {
+			hops += len(logical.Locations(steps)) - 1
+		}
+		rows = append(rows, row(h.String(),
+			"total_hops", fmt.Sprint(hops),
+			"rmax", fmt.Sprintf("%.2f", res.RMax),
+			"Rmax_MBps", fmt.Sprintf("%.0f", res.RMaxBits/topo.MBps),
+		))
+	}
+	return rows, nil
+}
+
+// AblationGreedyVsMIP compares the exact solver with the greedy baseline
+// on a fat tree: solve time and the load-balance quality (r_max).
+func AblationGreedyVsMIP(guaranteed int) ([]Row, error) {
+	t := topo.FatTree(4, topo.Gbps)
+	alpha := logical.Alphabet(t)
+	hosts := t.Hosts()
+	var reqs []provision.Request
+	for g := 0; g < guaranteed; g++ {
+		src := hosts[g%len(hosts)]
+		dst := hosts[(g*5+3)%len(hosts)]
+		if src == dst {
+			dst = hosts[(g*5+4)%len(hosts)]
+		}
+		expr := fmt.Sprintf("%s .* %s", t.Node(src).Name, t.Node(dst).Name)
+		graph, err := logical.BuildMinimized(t, regex.MustParse(expr), alpha)
+		if err != nil {
+			return nil, err
+		}
+		reqs = append(reqs, provision.Request{
+			ID: fmt.Sprintf("g%d", g), Graph: graph, MinRate: 100 * topo.Mbps,
+		})
+	}
+	var rows []Row
+	start := time.Now()
+	mipRes, err := provision.Solve(t, reqs, provision.MinMaxRatio, provision.Params{})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row("mip",
+		"time_ms", fmt.Sprintf("%.1f", ms(time.Since(start))),
+		"rmax", fmt.Sprintf("%.3f", mipRes.RMax)))
+	start = time.Now()
+	greedyRes, err := provision.Greedy(t, reqs)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row("greedy",
+		"time_ms", fmt.Sprintf("%.1f", ms(time.Since(start))),
+		"rmax", fmt.Sprintf("%.3f", greedyRes.RMax)))
+	return rows, nil
+}
+
+// AblationMinimization compares language-inclusion checking with and
+// without Hopcroft minimization on growing waypoint chains.
+func AblationMinimization(nodes []int) ([]Row, error) {
+	var rows []Row
+	for _, n := range nodes {
+		orig, ref, err := regexWorkload(n)
+		if err != nil {
+			return nil, err
+		}
+		var times [2]time.Duration
+		for i, minimize := range []bool{false, true} {
+			start := time.Now()
+			rep, err := verify.CheckRefinement(orig, ref, verify.Options{Minimize: minimize})
+			if err != nil {
+				return nil, err
+			}
+			if !rep.OK() {
+				return nil, fmt.Errorf("minimization ablation: workload rejected")
+			}
+			times[i] = time.Since(start)
+		}
+		rows = append(rows, row(fmt.Sprintf("regex_nodes=%d", n),
+			"plain_ms", fmt.Sprintf("%.2f", ms(times[0])),
+			"minimized_ms", fmt.Sprintf("%.2f", ms(times[1]))))
+	}
+	return rows, nil
+}
+
+// AblationLocalization compares the equal and weighted §3.1 bandwidth
+// splits on the paper's aggregate cap.
+func AblationLocalization() ([]Row, error) {
+	f := policy.Max{Expr: policy.BandExpr{IDs: []string{"x", "y"}}, Rate: 50 * topo.MBps}
+	equal, err := policy.Localize(f, policy.EqualSplit)
+	if err != nil {
+		return nil, err
+	}
+	weighted, err := policy.Localize(f, policy.WeightedSplit(map[string]float64{"x": 3, "y": 1}))
+	if err != nil {
+		return nil, err
+	}
+	return []Row{
+		row("equal",
+			"x", policy.FormatRate(equal["x"].Max), "y", policy.FormatRate(equal["y"].Max)),
+		row("weighted-3:1",
+			"x", policy.FormatRate(weighted["x"].Max), "y", policy.FormatRate(weighted["y"].Max)),
+	}, nil
+}

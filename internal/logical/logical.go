@@ -1,0 +1,284 @@
+// Package logical builds Merlin's logical topology (§3.2): for each policy
+// statement, the directed product graph of the physical topology with the
+// statement's path-constraint NFA. Paths from the statement's source vertex
+// to its sink vertex correspond exactly to physical paths satisfying the
+// path expression (Lemma 1 of the paper).
+package logical
+
+import (
+	"fmt"
+
+	"merlin/internal/regex"
+	"merlin/internal/topo"
+)
+
+// Step is one element of a decoded physical path: a location plus the name
+// of the packet-processing function applied there ("" for plain
+// forwarding). A location appears in consecutive steps when several
+// functions run at the same place.
+type Step struct {
+	Loc topo.NodeID
+	Tag string
+}
+
+// Edge is a logical-topology edge. From/To are product-vertex indices.
+// Entering records the location processed by the NFA transition (the "v"
+// of the paper's construction); Link is the physical link the edge rides,
+// or -1 for self-edges (u = v), source edges, and sink edges, which carry
+// no bandwidth.
+type Edge struct {
+	ID       int
+	From, To int
+	Entering topo.NodeID
+	Link     topo.LinkID
+	Tag      string
+}
+
+// Graph is the product graph G_i for one statement.
+type Graph struct {
+	Topo   *topo.Topology
+	NFA    *regex.EpsFree
+	States int
+
+	NumVerts     int
+	Source, Sink int
+	Edges        []Edge
+	Out          [][]int32 // outgoing edge indices per vertex
+	In           [][]int32 // incoming edge indices per vertex
+
+	// TagSource, when non-nil, is the original tagged NFA of a graph built
+	// from a minimized (tag-free) automaton; DecodePath uses it to recover
+	// function placements.
+	TagSource *regex.EpsFree
+}
+
+// vertex returns the product vertex index of (location, state).
+func (g *Graph) vertex(loc topo.NodeID, state int) int {
+	return int(loc)*g.States + state
+}
+
+// VertexOf is the exported form of vertex, for tests and diagnostics.
+func (g *Graph) VertexOf(loc topo.NodeID, state int) int { return g.vertex(loc, state) }
+
+// Decompose splits a product vertex back into (location, state). The
+// second return is false for the source/sink vertices.
+func (g *Graph) Decompose(v int) (topo.NodeID, int, bool) {
+	if v >= g.NumVerts-2 {
+		return 0, 0, false
+	}
+	return topo.NodeID(v / g.States), v % g.States, true
+}
+
+// Alphabet builds the location alphabet of a topology: one symbol per node
+// name. Share one alphabet across all statements of a policy so NFAs and
+// the topology agree on symbol numbering.
+func Alphabet(t *topo.Topology) *regex.Alphabet {
+	names := make([]string, t.NumNodes())
+	for i, n := range t.Nodes() {
+		names[i] = n.Name
+	}
+	return regex.NewAlphabet(names)
+}
+
+// Build constructs the product graph of the topology with an epsilon-free
+// NFA whose alphabet was produced by Alphabet(t) (node IDs must equal
+// symbol IDs; extra symbols beyond the topology's nodes — unplaced
+// function names — simply never match).
+func Build(t *topo.Topology, nfa *regex.EpsFree) *Graph {
+	g := &Graph{
+		Topo:   t,
+		NFA:    nfa,
+		States: nfa.States,
+	}
+	n := t.NumNodes()
+	g.NumVerts = n*nfa.States + 2
+	g.Source = n * nfa.States
+	g.Sink = g.Source + 1
+	g.Out = make([][]int32, g.NumVerts)
+	g.In = make([][]int32, g.NumVerts)
+
+	addEdge := func(from, to int, entering topo.NodeID, link topo.LinkID, tag string) {
+		id := len(g.Edges)
+		g.Edges = append(g.Edges, Edge{ID: id, From: from, To: to, Entering: entering, Link: link, Tag: tag})
+		g.Out[from] = append(g.Out[from], int32(id))
+		g.In[to] = append(g.In[to], int32(id))
+	}
+
+	// Source edges: si -> (v, q') for every transition q0 --v--> q'.
+	for _, tr := range nfa.Out[nfa.Start] {
+		for v := 0; v < n; v++ {
+			if tr.Set.Has(v) {
+				addEdge(g.Source, g.vertex(topo.NodeID(v), tr.To), topo.NodeID(v), -1, tr.Tag)
+			}
+		}
+	}
+	// Interior edges: (u,q) -> (v,q') iff (u=v or (u,v) physical) and
+	// q --v--> q'.
+	for u := 0; u < n; u++ {
+		for q := 0; q < nfa.States; q++ {
+			from := g.vertex(topo.NodeID(u), q)
+			for _, tr := range nfa.Out[q] {
+				// Self-transition: stay at u, apply another NFA step.
+				if tr.Set.Has(u) {
+					addEdge(from, g.vertex(topo.NodeID(u), tr.To), topo.NodeID(u), -1, tr.Tag)
+				}
+				// Physical moves to neighbors in the transition's set.
+				for _, lid := range t.Out(topo.NodeID(u)) {
+					link := t.Link(lid)
+					v := int(link.Dst)
+					if tr.Set.Has(v) {
+						addEdge(from, g.vertex(link.Dst, tr.To), link.Dst, lid, tr.Tag)
+					}
+				}
+			}
+			// Sink edges from accepting states.
+			if nfa.Accept[q] {
+				addEdge(from, g.Sink, -1, -1, "")
+			}
+		}
+	}
+	return g
+}
+
+// ShortestPath runs a 0/1-weight BFS from Source to Sink, where physical
+// edges cost 1 hop and self/source/sink edges cost 0. It returns the edge
+// IDs of a minimum-hop satisfying path, or nil if the statement's path
+// constraint is unsatisfiable on this topology.
+func (g *Graph) ShortestPath() []int {
+	return g.shortestFrom(g.Source, g.Sink)
+}
+
+func (g *Graph) shortestFrom(src, dst int) []int {
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, g.NumVerts)
+	parent := make([]int32, g.NumVerts)
+	for i := range dist {
+		dist[i] = inf
+		parent[i] = -1
+	}
+	dist[src] = 0
+	// 0/1 BFS with a deque.
+	deque := make([]int, 0, g.NumVerts)
+	deque = append(deque, src)
+	for len(deque) > 0 {
+		v := deque[0]
+		deque = deque[1:]
+		for _, eid := range g.Out[v] {
+			e := g.Edges[eid]
+			w := 0
+			if e.Link >= 0 {
+				w = 1
+			}
+			if dist[v]+w < dist[e.To] {
+				dist[e.To] = dist[v] + w
+				parent[e.To] = eid
+				if w == 0 {
+					deque = append([]int{e.To}, deque...)
+				} else {
+					deque = append(deque, e.To)
+				}
+			}
+		}
+	}
+	if dist[dst] == inf {
+		return nil
+	}
+	var rev []int
+	for v := dst; v != src; {
+		eid := parent[v]
+		rev = append(rev, int(eid))
+		v = g.Edges[eid].From
+	}
+	out := make([]int, len(rev))
+	for i, eid := range rev {
+		out[len(rev)-1-i] = eid
+	}
+	return out
+}
+
+// DecodePath converts a Source→Sink edge sequence into physical steps: one
+// Step per NFA transition, carrying the entered location and function tag.
+// The final sink edge is dropped.
+func (g *Graph) DecodePath(edgeIDs []int) ([]Step, error) {
+	var steps []Step
+	cur := g.Source
+	for _, eid := range edgeIDs {
+		if eid < 0 || eid >= len(g.Edges) {
+			return nil, fmt.Errorf("logical: edge %d out of range", eid)
+		}
+		e := g.Edges[eid]
+		if e.From != cur {
+			return nil, fmt.Errorf("logical: edge %d does not continue the path (at %d, edge from %d)", eid, cur, e.From)
+		}
+		cur = e.To
+		if e.To == g.Sink {
+			break
+		}
+		steps = append(steps, Step{Loc: e.Entering, Tag: e.Tag})
+	}
+	if cur != g.Sink {
+		return nil, fmt.Errorf("logical: path does not reach the sink")
+	}
+	if g.TagSource != nil {
+		return RecoverTags(g.TagSource, g.Topo, steps)
+	}
+	return steps, nil
+}
+
+// ExtractPath walks the chosen-edge set (as produced by the MIP: xe = 1)
+// from Source to Sink and decodes it. Degenerate cycles not on the
+// source-sink walk are ignored, matching the MIP's semantics.
+func (g *Graph) ExtractPath(chosen func(edgeID int) bool) ([]Step, error) {
+	var ids []int
+	cur := g.Source
+	visited := make(map[int]bool)
+	for cur != g.Sink {
+		if visited[cur] {
+			return nil, fmt.Errorf("logical: chosen edges form a cycle at vertex %d", cur)
+		}
+		visited[cur] = true
+		found := -1
+		for _, eid := range g.Out[cur] {
+			if chosen(int(eid)) {
+				found = int(eid)
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("logical: chosen edges dead-end at vertex %d", cur)
+		}
+		ids = append(ids, found)
+		cur = g.Edges[found].To
+	}
+	return g.DecodePath(ids)
+}
+
+// Locations projects steps to their locations, collapsing consecutive
+// duplicates (several functions at one location visit it once physically).
+func Locations(steps []Step) []topo.NodeID {
+	var out []topo.NodeID
+	for _, s := range steps {
+		if len(out) == 0 || out[len(out)-1] != s.Loc {
+			out = append(out, s.Loc)
+		}
+	}
+	return out
+}
+
+// Placements extracts the function placements from a decoded path: which
+// location hosts each tagged transition, in path order.
+type Placement struct {
+	Fn  string
+	Loc topo.NodeID
+}
+
+// PlacementsOf lists the function placements along a path.
+func PlacementsOf(steps []Step) []Placement {
+	var out []Placement
+	for _, s := range steps {
+		if s.Tag != "" {
+			out = append(out, Placement{Fn: s.Tag, Loc: s.Loc})
+		}
+	}
+	return out
+}

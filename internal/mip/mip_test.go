@@ -1,0 +1,230 @@
+package mip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"merlin/internal/lp"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) <= 1e-5*(1+math.Abs(b)) }
+
+func TestKnapsack(t *testing.T) {
+	// max 10a + 6b + 4c s.t. a+b+c <= 2 (binary): best {a,b} = 16.
+	m := NewModel()
+	a := m.AddBinVar(10, "a")
+	b := m.AddBinVar(6, "b")
+	c := m.AddBinVar(4, "c")
+	m.Maximize()
+	m.AddConstraint([]lp.Term{{Var: a, Coeff: 1}, {Var: b, Coeff: 1}, {Var: c, Coeff: 1}}, lp.LE, 2, "cap")
+	sol := m.Solve(Params{})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.Objective, 16) {
+		t.Fatalf("obj = %v, want 16", sol.Objective)
+	}
+	if !approx(sol.X[a], 1) || !approx(sol.X[b], 1) || !approx(sol.X[c], 0) {
+		t.Fatalf("x = %v, want [1 1 0]", sol.X)
+	}
+}
+
+func TestFractionalRelaxationForcedInteger(t *testing.T) {
+	// max x + y s.t. 2x + 2y <= 3 (binary): LP gives 1.5, MIP gives 1.
+	m := NewModel()
+	x := m.AddBinVar(1, "x")
+	y := m.AddBinVar(1, "y")
+	m.Maximize()
+	m.AddConstraint([]lp.Term{{Var: x, Coeff: 2}, {Var: y, Coeff: 2}}, lp.LE, 3, "cap")
+	sol := m.Solve(Params{})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.Objective, 1) {
+		t.Fatalf("obj = %v, want 1", sol.Objective)
+	}
+}
+
+func TestIntegerGeneral(t *testing.T) {
+	// min 3x + 4y s.t. x + 2y >= 7, x,y integer >= 0.
+	// LP optimum: y=3.5 → obj 14. Integer optimum: (1,3) = 15 or (7,0) = 21
+	// or (3,2) = 17... check: x+2y>=7; (1,3): 1+6=7 ok cost 15. (0,4)=16.
+	// (3,2)=3+4=7 ok cost 17. So 15.
+	m := NewModel()
+	x := m.AddIntVar(0, 100, 3, "x")
+	y := m.AddIntVar(0, 100, 4, "y")
+	m.AddConstraint([]lp.Term{{Var: x, Coeff: 1}, {Var: y, Coeff: 2}}, lp.GE, 7, "c")
+	sol := m.Solve(Params{})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.Objective, 15) {
+		t.Fatalf("obj = %v, want 15", sol.Objective)
+	}
+}
+
+func TestInfeasibleMIP(t *testing.T) {
+	m := NewModel()
+	x := m.AddBinVar(1, "x")
+	m.AddConstraint([]lp.Term{{Var: x, Coeff: 1}}, lp.GE, 2, "impossible")
+	sol := m.Solve(Params{})
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestIntegerInfeasibleButLPFeasible(t *testing.T) {
+	// 2x = 1 with x binary: LP x=0.5 feasible, integer infeasible.
+	m := NewModel()
+	x := m.AddBinVar(0, "x")
+	m.AddConstraint([]lp.Term{{Var: x, Coeff: 2}}, lp.EQ, 1, "odd")
+	sol := m.Solve(Params{})
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// max 2x + y, x binary, y continuous <= 2.5, x + y <= 3.
+	// Best: x=1, y=2 → 4... y bounded by 2.5 and x+y<=3 → y=2. obj=4.
+	m := NewModel()
+	x := m.AddBinVar(2, "x")
+	y := m.Model.AddVar(0, 2.5, 1, "y")
+	m.Maximize()
+	m.AddConstraint([]lp.Term{{Var: x, Coeff: 1}, {Var: y, Coeff: 1}}, lp.LE, 3, "c")
+	sol := m.Solve(Params{})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.Objective, 4) {
+		t.Fatalf("obj = %v, want 4", sol.Objective)
+	}
+	if !approx(sol.X[x], 1) || !approx(sol.X[y], 2) {
+		t.Fatalf("x = %v, want [1 2]", sol.X)
+	}
+}
+
+func TestBoundsRestoredAfterSolve(t *testing.T) {
+	m := NewModel()
+	x := m.AddBinVar(1, "x")
+	m.Maximize()
+	m.AddConstraint([]lp.Term{{Var: x, Coeff: 2}}, lp.LE, 1, "c")
+	_ = m.Solve(Params{})
+	lb, ub := m.Bounds(x)
+	if lb != 0 || ub != 1 {
+		t.Fatalf("bounds after solve = [%v,%v], want [0,1]", lb, ub)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// A problem needing branching with MaxNodes=1 must report Limit.
+	m := NewModel()
+	x := m.AddBinVar(1, "x")
+	y := m.AddBinVar(1, "y")
+	m.Maximize()
+	m.AddConstraint([]lp.Term{{Var: x, Coeff: 2}, {Var: y, Coeff: 2}}, lp.LE, 3, "cap")
+	sol := m.Solve(Params{MaxNodes: 1})
+	if sol.Status != Limit {
+		t.Fatalf("status = %v, want limit", sol.Status)
+	}
+}
+
+// Shortest path as a 0/1 MIP on a small graph, checked against Dijkstra by
+// hand: s->a (1), a->t (1), s->t (3). Optimum picks s->a->t, cost 2.
+func TestShortestPathMIP(t *testing.T) {
+	m := NewModel()
+	sa := m.AddBinVar(1, "sa")
+	at := m.AddBinVar(1, "at")
+	st := m.AddBinVar(3, "st")
+	// Flow out of s = 1; into t = 1; conservation at a.
+	m.AddConstraint([]lp.Term{{Var: sa, Coeff: 1}, {Var: st, Coeff: 1}}, lp.EQ, 1, "s")
+	m.AddConstraint([]lp.Term{{Var: at, Coeff: 1}, {Var: st, Coeff: 1}}, lp.EQ, 1, "t")
+	m.AddConstraint([]lp.Term{{Var: sa, Coeff: 1}, {Var: at, Coeff: -1}}, lp.EQ, 0, "a")
+	sol := m.Solve(Params{})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.Objective, 2) {
+		t.Fatalf("obj = %v, want 2", sol.Objective)
+	}
+	if !approx(sol.X[sa], 1) || !approx(sol.X[at], 1) || !approx(sol.X[st], 0) {
+		t.Fatalf("x = %v", sol.X)
+	}
+}
+
+// Property: on random small binary knapsacks, branch and bound matches
+// brute-force enumeration.
+func TestRandomKnapsacksMatchBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + r.Intn(5) // up to 7 items
+		weights := make([]float64, n)
+		values := make([]float64, n)
+		m := NewModel()
+		vars := make([]int, n)
+		terms := make([]lp.Term, n)
+		for i := 0; i < n; i++ {
+			weights[i] = 1 + math.Floor(r.Float64()*9)
+			values[i] = 1 + math.Floor(r.Float64()*9)
+			vars[i] = m.AddBinVar(values[i], "x")
+			terms[i] = lp.Term{Var: vars[i], Coeff: weights[i]}
+		}
+		cap := math.Floor(r.Float64() * 20)
+		m.Maximize()
+		m.AddConstraint(terms, lp.LE, cap, "cap")
+		sol := m.Solve(Params{})
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
+		}
+		// Brute force.
+		best := 0.0
+		for mask := 0; mask < 1<<n; mask++ {
+			w, v := 0.0, 0.0
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					w += weights[i]
+					v += values[i]
+				}
+			}
+			if w <= cap && v > best {
+				best = v
+			}
+		}
+		if !approx(sol.Objective, best) {
+			t.Fatalf("trial %d: MIP %v != brute force %v", trial, sol.Objective, best)
+		}
+		// Solution must be integral.
+		for _, v := range vars {
+			x := sol.X[v]
+			if math.Abs(x-math.Round(x)) > 1e-6 {
+				t.Fatalf("trial %d: non-integral %v", trial, x)
+			}
+		}
+	}
+}
+
+func BenchmarkKnapsack12(b *testing.B) {
+	r := rand.New(rand.NewSource(77))
+	n := 12
+	weights := make([]float64, n)
+	values := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1 + math.Floor(r.Float64()*9)
+		values[i] = 1 + math.Floor(r.Float64()*9)
+	}
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		m := NewModel()
+		terms := make([]lp.Term, n)
+		for i := 0; i < n; i++ {
+			v := m.AddBinVar(values[i], "x")
+			terms[i] = lp.Term{Var: v, Coeff: weights[i]}
+		}
+		m.Maximize()
+		m.AddConstraint(terms, lp.LE, 30, "cap")
+		if sol := m.Solve(Params{}); sol.Status != Optimal {
+			b.Fatalf("status %v", sol.Status)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package negotiate
+
+import (
+	"merlin/internal/sim"
+	"merlin/internal/topo"
+)
+
+// AIMDConfig drives the Fig. 10(a) experiment: two hosts sharing one link,
+// each governed by an AIMD negotiator adjusting its bandwidth cap.
+type AIMDConfig struct {
+	CapacityBps float64 // default 1 Gbps
+	IncreaseBps float64 // default 20 Mbps
+	Decrease    float64 // default 0.5
+	Seconds     float64 // default 70
+	TickSeconds float64 // default 1
+}
+
+func (c *AIMDConfig) defaults() {
+	if c.CapacityBps == 0 {
+		c.CapacityBps = topo.Gbps
+	}
+	if c.IncreaseBps == 0 {
+		c.IncreaseBps = 20 * topo.Mbps
+	}
+	if c.Decrease == 0 {
+		c.Decrease = 0.5
+	}
+	if c.Seconds == 0 {
+		c.Seconds = 70
+	}
+	if c.TickSeconds == 0 {
+		c.TickSeconds = 1
+	}
+}
+
+// RunAIMD simulates two greedy tenants under AIMD negotiators and returns
+// their rate time series. The expected shape is the classic sawtooth:
+// allocations climb additively until the shared link congests, then halve.
+func RunAIMD(cfg AIMDConfig) ([]sim.Series, error) {
+	cfg.defaults()
+	t := topo.Linear(1, cfg.CapacityBps)
+	h1, h2 := t.MustLookup("h1"), t.MustLookup("h2")
+	net := sim.New(t)
+	f1, err := net.AddFlow("h1-h2", h1, h2, cfg.CapacityBps, 0, cfg.IncreaseBps)
+	if err != nil {
+		return nil, err
+	}
+	f2, err := net.AddFlow("h2-h1", h2, h1, cfg.CapacityBps, 0, cfg.IncreaseBps)
+	if err != nil {
+		return nil, err
+	}
+	// Both flows cross the same cable in opposite directions; AIMD
+	// contention is against the shared capacity pool, so drive congestion
+	// off the cable total (as eq. 2 pools both directions).
+	a1 := &AIMDState{Alloc: cfg.IncreaseBps, Increase: cfg.IncreaseBps, Decrease: cfg.Decrease}
+	a2 := &AIMDState{Alloc: cfg.IncreaseBps, Increase: cfg.IncreaseBps, Decrease: cfg.Decrease}
+	out := []sim.Series{{Name: f1.ID}, {Name: f2.ID}}
+	for now := 0.0; now < cfg.Seconds; now += cfg.TickSeconds {
+		f1.MaxRate = a1.Alloc
+		f2.MaxRate = a2.Alloc
+		net.Step(cfg.TickSeconds)
+		out[0].Record(now, f1.Rate)
+		out[1].Record(now, f2.Rate)
+		congested := a1.Alloc+a2.Alloc > cfg.CapacityBps
+		a1.Update(f1.Rate, congested)
+		a2.Update(f2.Rate, congested)
+	}
+	return out, nil
+}
+
+// MMFSConfig drives the Fig. 10(b) experiment: four hosts (h1→h2 and
+// h3→h4) sharing a link, with demands declared to a max-min fair-share
+// negotiator at different times.
+type MMFSConfig struct {
+	CapacityBps float64 // default 500 Mbps (the figure's scale)
+	Seconds     float64 // default 30
+	TickSeconds float64 // default 1
+}
+
+func (c *MMFSConfig) defaults() {
+	if c.CapacityBps == 0 {
+		c.CapacityBps = 500 * topo.Mbps
+	}
+	if c.Seconds == 0 {
+		c.Seconds = 30
+	}
+	if c.TickSeconds == 0 {
+		c.TickSeconds = 1
+	}
+}
+
+// RunMMFS simulates the two tenant pairs declaring demands over time:
+// h1→h2 wants 400 Mbps from the start; h3→h4 declares 150 Mbps at t=5 and
+// raises to 400 Mbps at t=15. The negotiator re-divides max-min fairly at
+// each declaration, so the series shows the Fig. 10(b) staircase.
+func RunMMFS(cfg MMFSConfig) ([]sim.Series, error) {
+	cfg.defaults()
+	// Dumbbell: both pairs traverse the shared middle cable.
+	t := topo.New()
+	s1 := t.AddSwitch("s1")
+	s2 := t.AddSwitch("s2")
+	t.AddLink(s1, s2, cfg.CapacityBps)
+	h1 := t.AddHost("h1")
+	h2 := t.AddHost("h2")
+	h3 := t.AddHost("h3")
+	h4 := t.AddHost("h4")
+	t.AddLink(h1, s1, 10*cfg.CapacityBps)
+	t.AddLink(h3, s1, 10*cfg.CapacityBps)
+	t.AddLink(h2, s2, 10*cfg.CapacityBps)
+	t.AddLink(h4, s2, 10*cfg.CapacityBps)
+	net := sim.New(t)
+	f1, err := net.AddFlow("h1-h2", h1, h2, 0, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	f2, err := net.AddFlow("h3-h4", h3, h4, 0, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	demand := func(now float64) (d1, d2 float64) {
+		d1 = 400 * topo.Mbps
+		switch {
+		case now < 5:
+			d2 = 0
+		case now < 15:
+			d2 = 150 * topo.Mbps
+		default:
+			d2 = 400 * topo.Mbps
+		}
+		return d1, d2
+	}
+	out := []sim.Series{{Name: f1.ID}, {Name: f2.ID}}
+	for now := 0.0; now < cfg.Seconds; now += cfg.TickSeconds {
+		d1, d2 := demand(now)
+		alloc := MaxMinFairShare(cfg.CapacityBps, []float64{d1, d2})
+		f1.Demand, f1.MaxRate = d1, alloc[0]
+		f2.Demand, f2.MaxRate = d2, alloc[1]
+		net.Step(cfg.TickSeconds)
+		out[0].Record(now, f1.Rate)
+		out[1].Record(now, f2.Rate)
+	}
+	return out, nil
+}

@@ -1,0 +1,203 @@
+// Package negotiate implements Merlin's run-time negotiators (§4):
+// components arranged in a tree over the network that delegate policies to
+// tenants, verify tenant modifications against the parent policy, and
+// dynamically re-allocate bandwidth. Bandwidth re-allocation needs no
+// recompilation and is fast; path-constraint changes require global
+// recompilation (§4.3) and are surfaced to the caller.
+//
+// Two allocation schemes from the paper's evaluation are provided:
+// additive-increase/multiplicative-decrease and max-min fair sharing
+// (Fig. 10).
+package negotiate
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"merlin/internal/policy"
+	"merlin/internal/pred"
+	"merlin/internal/verify"
+)
+
+// Negotiator is one node of the negotiator tree. The root holds the
+// administrator's global policy; children hold delegations.
+type Negotiator struct {
+	Name string
+
+	mu       sync.Mutex
+	pol      *policy.Policy
+	parent   *Negotiator
+	children map[string]*Negotiator
+	opts     verify.Options
+}
+
+// NewRoot creates the tree root holding the global policy.
+func NewRoot(name string, pol *policy.Policy) *Negotiator {
+	return &Negotiator{Name: name, pol: pol, children: map[string]*Negotiator{}}
+}
+
+// Policy returns the negotiator's current policy.
+func (n *Negotiator) Policy() *policy.Policy {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.pol
+}
+
+// Delegate carves out a child negotiator scoped to the given predicate:
+// the child receives the parent policy projected onto the scope (§5).
+func (n *Negotiator) Delegate(name string, scope pred.Pred) (*Negotiator, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.children[name]; dup {
+		return nil, fmt.Errorf("negotiate: child %q already exists", name)
+	}
+	sub, err := verify.Delegate(n.pol, scope)
+	if err != nil {
+		return nil, err
+	}
+	if len(sub.Statements) == 0 {
+		return nil, fmt.Errorf("negotiate: scope matches no traffic of %s's policy", n.Name)
+	}
+	child := &Negotiator{Name: name, pol: sub, parent: n, children: map[string]*Negotiator{}}
+	n.children[name] = child
+	return child, nil
+}
+
+// Children lists child negotiators in name order.
+func (n *Negotiator) Children() []*Negotiator {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*Negotiator, len(names))
+	for i, name := range names {
+		out[i] = n.children[name]
+	}
+	return out
+}
+
+// Propose submits a refined policy. The negotiator verifies it against its
+// current policy (§4.2); a valid refinement replaces the policy and the
+// second return reports whether the change needs global recompilation
+// (any path-expression change, §4.3).
+func (n *Negotiator) Propose(refined *policy.Policy) (recompile bool, err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	rep, err := verify.CheckRefinement(n.pol, refined, n.opts)
+	if err != nil {
+		return false, err
+	}
+	if !rep.OK() {
+		return false, rep.Err()
+	}
+	recompile = pathsChanged(n.pol, refined)
+	n.pol = refined
+	return recompile, nil
+}
+
+// pathsChanged reports whether any refined statement narrows a path
+// expression (syntactic comparison; equal strings cannot change routing).
+func pathsChanged(orig, refined *policy.Policy) bool {
+	exprs := map[string]bool{}
+	for _, s := range orig.Statements {
+		exprs[s.Path.String()] = true
+	}
+	for _, s := range refined.Statements {
+		if !exprs[s.Path.String()] {
+			return true
+		}
+	}
+	return false
+}
+
+// Reallocate adjusts only the bandwidth formula of the negotiator's
+// policy, keeping statements fixed. It verifies the new formula still
+// implies the parent's constraints and returns the localized allocations.
+// This is the fast path negotiators use for dynamic adaptation (§4.3).
+func (n *Negotiator) Reallocate(formula policy.Formula) (map[string]policy.Alloc, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	candidate := &policy.Policy{Statements: n.pol.Statements, Formula: formula}
+	baseline := n.pol
+	if n.parent != nil {
+		baseline = n.parent.Policy()
+	}
+	rep, err := verify.CheckRefinement(baseline, candidate, n.opts)
+	if err != nil {
+		return nil, err
+	}
+	if !rep.OK() {
+		return nil, rep.Err()
+	}
+	n.pol = candidate
+	return policy.Localize(formula, nil)
+}
+
+// MaxMinFairShare allocates capacity among declared demands max-min
+// fairly: demands are satisfied smallest-first, and remaining bandwidth is
+// split among the unsatisfied (§6.3's MMFS negotiator). The result has one
+// entry per demand, in input order.
+func MaxMinFairShare(capacity float64, demands []float64) []float64 {
+	alloc := make([]float64, len(demands))
+	if len(demands) == 0 || capacity <= 0 {
+		return alloc
+	}
+	type entry struct {
+		idx    int
+		demand float64
+	}
+	order := make([]entry, len(demands))
+	for i, d := range demands {
+		order[i] = entry{i, d}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].demand < order[j].demand })
+	remaining := capacity
+	for k, e := range order {
+		share := remaining / float64(len(order)-k)
+		give := e.demand
+		if give > share {
+			give = share
+		}
+		if give < 0 {
+			give = 0
+		}
+		alloc[e.idx] = give
+		remaining -= give
+	}
+	// Distribute leftover to unsatisfied demands (all demands met and
+	// capacity remains: leave it unallocated, matching declared-demand
+	// semantics).
+	return alloc
+}
+
+// AIMDState is one tenant's additive-increase/multiplicative-decrease
+// controller over its bandwidth cap.
+type AIMDState struct {
+	// Alloc is the tenant's current allocation (its cap).
+	Alloc float64
+	// Increase is the additive probe step per round.
+	Increase float64
+	// Decrease is the multiplicative back-off factor on congestion.
+	Decrease float64
+}
+
+// Update advances the controller one round: used is the bandwidth the
+// tenant actually achieved, congested reports whether the shared resource
+// was oversubscribed this round.
+func (s *AIMDState) Update(used float64, congested bool) {
+	if congested {
+		s.Alloc *= s.Decrease
+		if s.Alloc < s.Increase {
+			s.Alloc = s.Increase
+		}
+		return
+	}
+	// Probe for more only when the current allocation is actually used.
+	if used >= 0.9*s.Alloc {
+		s.Alloc += s.Increase
+	}
+}

@@ -1,0 +1,190 @@
+package negotiate
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// The wire protocol negotiators speak among themselves: newline-delimited
+// JSON over TCP. Tenants declare bandwidth demands; the serving negotiator
+// re-divides its capacity max-min fairly and answers with the tenant's
+// allocation.
+
+// Message is the protocol envelope.
+type Message struct {
+	// Type is "demand", "alloc", "release", or "error".
+	Type string `json:"type"`
+	// Tenant identifies the requesting negotiator.
+	Tenant string `json:"tenant,omitempty"`
+	// Bps carries the demanded or granted rate.
+	Bps float64 `json:"bps,omitempty"`
+	// Detail carries error text.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Server is a bandwidth negotiator serving tenant demands over TCP.
+type Server struct {
+	capacity float64
+
+	mu      sync.Mutex
+	demands map[string]float64
+	ln      net.Listener
+}
+
+// NewServer creates a negotiator server dividing the given capacity.
+func NewServer(capacity float64) *Server {
+	return &Server{capacity: capacity, demands: map[string]float64{}}
+}
+
+// Allocations computes the current per-tenant max-min allocations.
+func (s *Server) Allocations() map[string]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.allocationsLocked()
+}
+
+func (s *Server) allocationsLocked() map[string]float64 {
+	names := make([]string, 0, len(s.demands))
+	for n := range s.demands {
+		names = append(names, n)
+	}
+	// Deterministic order for MaxMinFairShare input.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	ds := make([]float64, len(names))
+	for i, n := range names {
+		ds[i] = s.demands[n]
+	}
+	alloc := MaxMinFairShare(s.capacity, ds)
+	out := make(map[string]float64, len(names))
+	for i, n := range names {
+		out[n] = alloc[i]
+	}
+	return out
+}
+
+// Serve accepts tenant connections on the listener until it is closed.
+func (s *Server) Serve(ln net.Listener) {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.handle(conn)
+	}
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	var tenant string
+	for {
+		var msg Message
+		if err := dec.Decode(&msg); err != nil {
+			break
+		}
+		switch msg.Type {
+		case "demand":
+			if msg.Tenant == "" {
+				enc.Encode(Message{Type: "error", Detail: "missing tenant"})
+				continue
+			}
+			tenant = msg.Tenant
+			s.mu.Lock()
+			s.demands[tenant] = msg.Bps
+			alloc := s.allocationsLocked()[tenant]
+			s.mu.Unlock()
+			if err := enc.Encode(Message{Type: "alloc", Tenant: tenant, Bps: alloc}); err != nil {
+				break
+			}
+		case "release":
+			s.mu.Lock()
+			delete(s.demands, msg.Tenant)
+			s.mu.Unlock()
+			enc.Encode(Message{Type: "alloc", Tenant: msg.Tenant, Bps: 0})
+		default:
+			enc.Encode(Message{Type: "error", Detail: "unknown message type " + msg.Type})
+		}
+	}
+	// Connection teardown releases the tenant's demand.
+	if tenant != "" {
+		s.mu.Lock()
+		delete(s.demands, tenant)
+		s.mu.Unlock()
+	}
+}
+
+// Client is a tenant-side connection to a negotiator server.
+type Client struct {
+	tenant string
+	conn   net.Conn
+	dec    *json.Decoder
+	enc    *json.Encoder
+	mu     sync.Mutex
+}
+
+// Dial connects a tenant to a negotiator server.
+func Dial(addr, tenant string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		tenant: tenant,
+		conn:   conn,
+		dec:    json.NewDecoder(bufio.NewReader(conn)),
+		enc:    json.NewEncoder(conn),
+	}, nil
+}
+
+// Demand declares the tenant's offered load and returns the granted
+// allocation.
+func (c *Client) Demand(bps float64) (float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(Message{Type: "demand", Tenant: c.tenant, Bps: bps}); err != nil {
+		return 0, err
+	}
+	var resp Message
+	if err := c.dec.Decode(&resp); err != nil {
+		return 0, err
+	}
+	if resp.Type == "error" {
+		return 0, fmt.Errorf("negotiate: server error: %s", resp.Detail)
+	}
+	return resp.Bps, nil
+}
+
+// Release withdraws the tenant's demand.
+func (c *Client) Release() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(Message{Type: "release", Tenant: c.tenant}); err != nil {
+		return err
+	}
+	var resp Message
+	return c.dec.Decode(&resp)
+}
+
+// Close tears down the connection (implicitly releasing the demand).
+func (c *Client) Close() error { return c.conn.Close() }

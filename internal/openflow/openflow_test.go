@@ -1,0 +1,189 @@
+package openflow
+
+import (
+	"strings"
+	"testing"
+
+	"merlin/internal/packet"
+	"merlin/internal/pred"
+	"merlin/internal/topo"
+)
+
+func linearNet(t *testing.T) (*topo.Topology, *Network, topo.NodeID, topo.NodeID) {
+	t.Helper()
+	tp := topo.Linear(2, topo.Gbps) // s0-s1, h1@s0, h2@s1
+	return tp, NewNetwork(tp), tp.MustLookup("h1"), tp.MustLookup("h2")
+}
+
+func pkt() *packet.Packet {
+	return packet.TCPPacket("00:00:00:00:00:01", "00:00:00:00:00:02",
+		"10.0.0.1", "10.0.0.2", 4000, 80, nil)
+}
+
+func TestMatchWildcards(t *testing.T) {
+	p := pkt()
+	m := Match{InPort: MatchAny, VLAN: MatchAny}
+	if !m.Matches(p, 5) {
+		t.Fatal("full wildcard should match")
+	}
+	m = Match{InPort: 3, VLAN: MatchAny}
+	if m.Matches(p, 5) || !m.Matches(p, 3) {
+		t.Fatal("in-port match wrong")
+	}
+	m = Match{InPort: MatchAny, VLAN: packet.VLANNone}
+	if !m.Matches(p, 0) {
+		t.Fatal("untagged match should hold")
+	}
+	p.VLAN = 7
+	if m.Matches(p, 0) {
+		t.Fatal("tagged packet matched untagged rule")
+	}
+	m = Match{InPort: MatchAny, VLAN: MatchAny, EthDst: "00:00:00:00:00:02"}
+	if !m.Matches(p, 0) {
+		t.Fatal("eth.dst match failed")
+	}
+	m.Predicate = pred.Test{Field: "tcp.dst", Value: "22"}
+	if m.Matches(p, 0) {
+		t.Fatal("predicate should reject port 80")
+	}
+}
+
+func TestPriorityOrder(t *testing.T) {
+	tp, net, h1, h2 := linearNet(t)
+	s0 := tp.MustLookup("s0")
+	s1 := tp.MustLookup("s1")
+	toS1, _ := tp.FindLink(s0, s1)
+	toH2, _ := tp.FindLink(s1, h2)
+	// Low-priority drop, high-priority forward: forward must win.
+	net.Install([]Rule{
+		{Switch: s0, Priority: 1, Match: Match{InPort: MatchAny, VLAN: MatchAny},
+			Actions: []Action{Drop{}}},
+		{Switch: s0, Priority: 10, Match: Match{InPort: MatchAny, VLAN: MatchAny},
+			Actions: []Action{Output{Port: toS1.ID}}},
+		{Switch: s1, Priority: 1, Match: Match{InPort: MatchAny, VLAN: MatchAny},
+			Actions: []Action{Output{Port: toH2.ID}}},
+	})
+	tr := net.Inject(h1, pkt())
+	if !tr.Delivered || tr.DeliveredTo != h2 {
+		t.Fatalf("trace: %+v", tr)
+	}
+	if net.RuleCount() != 3 {
+		t.Fatalf("rule count = %d", net.RuleCount())
+	}
+}
+
+func TestVLANActions(t *testing.T) {
+	tp, net, h1, h2 := linearNet(t)
+	s0 := tp.MustLookup("s0")
+	s1 := tp.MustLookup("s1")
+	toS1, _ := tp.FindLink(s0, s1)
+	toH2, _ := tp.FindLink(s1, h2)
+	net.Install([]Rule{
+		{Switch: s0, Priority: 1, Match: Match{InPort: MatchAny, VLAN: packet.VLANNone},
+			Actions: []Action{SetVLAN{VLAN: 9}, Output{Port: toS1.ID}}},
+		{Switch: s1, Priority: 1, Match: Match{InPort: MatchAny, VLAN: 9},
+			Actions: []Action{StripVLAN{}, Output{Port: toH2.ID}}},
+	})
+	tr := net.Inject(h1, pkt())
+	if !tr.Delivered {
+		t.Fatalf("not delivered: %s", tr.Dropped)
+	}
+	if tr.Final.VLAN != packet.VLANNone {
+		t.Fatal("VLAN not stripped")
+	}
+}
+
+func TestNoRuleDrops(t *testing.T) {
+	_, net, h1, _ := linearNet(t)
+	tr := net.Inject(h1, pkt())
+	if tr.Delivered || tr.Dropped != "no matching rule" {
+		t.Fatalf("trace: %+v", tr)
+	}
+}
+
+func TestLoopDetection(t *testing.T) {
+	tp, net, h1, _ := linearNet(t)
+	s0 := tp.MustLookup("s0")
+	s1 := tp.MustLookup("s1")
+	toS1, _ := tp.FindLink(s0, s1)
+	toS0, _ := tp.FindLink(s1, s0)
+	net.Install([]Rule{
+		{Switch: s0, Priority: 1, Match: Match{InPort: MatchAny, VLAN: MatchAny},
+			Actions: []Action{Output{Port: toS1.ID}}},
+		{Switch: s1, Priority: 1, Match: Match{InPort: MatchAny, VLAN: MatchAny},
+			Actions: []Action{Output{Port: toS0.ID}}},
+	})
+	tr := net.Inject(h1, pkt())
+	if tr.Delivered || !strings.Contains(tr.Dropped, "loop") {
+		t.Fatalf("trace: %+v", tr)
+	}
+}
+
+func TestMiddleboxTransformAndDrop(t *testing.T) {
+	tp := topo.Example(topo.Gbps)
+	net := NewNetwork(tp)
+	h1 := tp.MustLookup("h1")
+	m1 := tp.MustLookup("m1")
+	s1 := tp.MustLookup("s1")
+	s2 := tp.MustLookup("s2")
+	h2 := tp.MustLookup("h2")
+	toM1, _ := tp.FindLink(s1, m1)
+	fromM1, _ := tp.FindLink(m1, s1)
+	toS2, _ := tp.FindLink(s1, s2)
+	toH2, _ := tp.FindLink(s2, h2)
+	fromH1, _ := tp.FindLink(h1, s1)
+	net.Install([]Rule{
+		{Switch: s1, Priority: 5, Match: Match{InPort: fromH1.ID, VLAN: MatchAny},
+			Actions: []Action{Output{Port: toM1.ID}}},
+		{Switch: s1, Priority: 5, Match: Match{InPort: fromM1.ID, VLAN: MatchAny},
+			Actions: []Action{Output{Port: toS2.ID}}},
+		{Switch: s2, Priority: 5, Match: Match{InPort: MatchAny, VLAN: MatchAny},
+			Actions: []Action{Output{Port: toH2.ID}}},
+	})
+	// A transforming middlebox rewrites the TOS field.
+	net.AddMiddleboxFunction(m1, func(p *packet.Packet) []*packet.Packet {
+		q := p.Clone()
+		q.IPv4.TOS = 42
+		return []*packet.Packet{q}
+	})
+	tr := net.Inject(h1, pkt())
+	if !tr.Delivered {
+		t.Fatalf("not delivered: %s (%v)", tr.Dropped, tr.HopNames(tp))
+	}
+	if tr.Final.IPv4.TOS != 42 {
+		t.Fatal("middlebox transformation lost")
+	}
+	// A consuming middlebox (IDS dropping attacks) kills the packet.
+	net2 := NewNetwork(tp)
+	net2.Install([]Rule{
+		{Switch: s1, Priority: 5, Match: Match{InPort: fromH1.ID, VLAN: MatchAny},
+			Actions: []Action{Output{Port: toM1.ID}}},
+	})
+	net2.AddMiddleboxFunction(m1, func(p *packet.Packet) []*packet.Packet { return nil })
+	tr2 := net2.Inject(h1, pkt())
+	if tr2.Delivered || !strings.Contains(tr2.Dropped, "consumed") {
+		t.Fatalf("trace: %+v", tr2)
+	}
+}
+
+func TestInjectFromNonHost(t *testing.T) {
+	tp, net, _, _ := linearNet(t)
+	tr := net.Inject(tp.MustLookup("s0"), pkt())
+	if tr.Delivered || tr.Dropped == "" {
+		t.Fatal("switch injection should fail")
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := Rule{
+		Switch: 1, Priority: 7,
+		Match:   Match{InPort: 2, VLAN: 5, EthDst: "00:00:00:00:00:02"},
+		Actions: []Action{SetVLAN{VLAN: 6}, Enqueue{Port: 3, Queue: 1}, StripVLAN{}, Drop{}},
+	}
+	s := r.String()
+	for _, want := range []string{"vlan=5", "set_vlan:6", "enqueue:3:1", "strip_vlan", "drop"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

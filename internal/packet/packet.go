@@ -1,0 +1,352 @@
+// Package packet implements a small layered packet model — Ethernet with
+// optional 802.1Q VLAN tags, IPv4, TCP, and UDP — with wire-format parsing
+// and serialization. It is the substrate the OpenFlow dataplane simulator
+// and the end-host interpreter operate on, and it bridges concrete packets
+// to Merlin predicates via Fields. The design follows the layered-decoder
+// style of gopacket, scaled down to the protocols Merlin policies classify.
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"merlin/internal/pred"
+)
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// ParseMAC parses the colon-separated hex form.
+func ParseMAC(s string) (MAC, error) {
+	var m MAC
+	parts := strings.Split(s, ":")
+	if len(parts) != 6 {
+		return m, fmt.Errorf("packet: bad MAC %q", s)
+	}
+	for i, p := range parts {
+		v, err := strconv.ParseUint(p, 16, 8)
+		if err != nil {
+			return m, fmt.Errorf("packet: bad MAC %q: %v", s, err)
+		}
+		m[i] = byte(v)
+	}
+	return m, nil
+}
+
+// MustMAC is ParseMAC that panics, for tests and literals.
+func MustMAC(s string) MAC {
+	m, err := ParseMAC(s)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// String renders the canonical lower-case colon form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IP is an IPv4 address.
+type IP [4]byte
+
+// ParseIP parses dotted-quad notation.
+func ParseIP(s string) (IP, error) {
+	var ip IP
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return ip, fmt.Errorf("packet: bad IP %q", s)
+	}
+	for i, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return ip, fmt.Errorf("packet: bad IP %q: %v", s, err)
+		}
+		ip[i] = byte(v)
+	}
+	return ip, nil
+}
+
+// MustIP is ParseIP that panics, for tests and literals.
+func MustIP(s string) IP {
+	ip, err := ParseIP(s)
+	if err != nil {
+		panic(err)
+	}
+	return ip
+}
+
+// String renders dotted-quad notation.
+func (ip IP) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", ip[0], ip[1], ip[2], ip[3])
+}
+
+// EtherTypes and IP protocol numbers used by the stack.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeVLAN uint16 = 0x8100
+
+	ProtoICMP uint8 = 1
+	ProtoTCP  uint8 = 6
+	ProtoUDP  uint8 = 17
+)
+
+// VLANNone marks the absence of an 802.1Q tag.
+const VLANNone = -1
+
+// Packet is a decoded packet. Layers beyond Ethernet are optional.
+type Packet struct {
+	EthSrc, EthDst MAC
+	EtherType      uint16
+	// VLAN is the 802.1Q VLAN ID, or VLANNone.
+	VLAN int
+
+	IPv4 *IPv4
+	TCP  *TCP
+	UDP  *UDP
+
+	Payload []byte
+}
+
+// IPv4 is the network layer.
+type IPv4 struct {
+	Src, Dst IP
+	Proto    uint8
+	TOS      uint8
+	TTL      uint8
+}
+
+// TCP is the TCP transport layer (ports only; Merlin classifies, it does
+// not track connections).
+type TCP struct {
+	Src, Dst uint16
+}
+
+// UDP is the UDP transport layer.
+type UDP struct {
+	Src, Dst uint16
+}
+
+// Clone deep-copies the packet.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	if p.IPv4 != nil {
+		v := *p.IPv4
+		q.IPv4 = &v
+	}
+	if p.TCP != nil {
+		v := *p.TCP
+		q.TCP = &v
+	}
+	if p.UDP != nil {
+		v := *p.UDP
+		q.UDP = &v
+	}
+	q.Payload = append([]byte(nil), p.Payload...)
+	return &q
+}
+
+// Fields projects the packet onto Merlin predicate fields, the bridge
+// between concrete packets and policy predicates.
+func (p *Packet) Fields() map[pred.Field]string {
+	f := map[pred.Field]string{
+		"eth.src": p.EthSrc.String(),
+		"eth.dst": p.EthDst.String(),
+		"eth.typ": strconv.Itoa(int(p.EtherType)),
+	}
+	if p.VLAN != VLANNone {
+		f["vlan.id"] = strconv.Itoa(p.VLAN)
+	}
+	if p.IPv4 != nil {
+		f["ip.src"] = p.IPv4.Src.String()
+		f["ip.dst"] = p.IPv4.Dst.String()
+		f["ip.proto"] = strconv.Itoa(int(p.IPv4.Proto))
+		f["ip.tos"] = strconv.Itoa(int(p.IPv4.TOS))
+	}
+	if p.TCP != nil {
+		f["tcp.src"] = strconv.Itoa(int(p.TCP.Src))
+		f["tcp.dst"] = strconv.Itoa(int(p.TCP.Dst))
+	}
+	if p.UDP != nil {
+		f["udp.src"] = strconv.Itoa(int(p.UDP.Src))
+		f["udp.dst"] = strconv.Itoa(int(p.UDP.Dst))
+	}
+	if len(p.Payload) > 0 {
+		f["payload"] = string(p.Payload)
+	}
+	return f
+}
+
+// Matches evaluates a Merlin predicate against the packet.
+func (p *Packet) Matches(pr pred.Pred) bool {
+	return pred.Matches(pr, p.Fields())
+}
+
+// Marshal serializes the packet to wire format.
+func (p *Packet) Marshal() []byte {
+	var b []byte
+	b = append(b, p.EthDst[:]...)
+	b = append(b, p.EthSrc[:]...)
+	if p.VLAN != VLANNone {
+		b = binary.BigEndian.AppendUint16(b, EtherTypeVLAN)
+		b = binary.BigEndian.AppendUint16(b, uint16(p.VLAN)&0x0fff)
+	}
+	etherType := p.EtherType
+	if p.IPv4 != nil {
+		etherType = EtherTypeIPv4
+	}
+	b = binary.BigEndian.AppendUint16(b, etherType)
+	if p.IPv4 == nil {
+		return append(b, p.Payload...)
+	}
+	// IPv4 header (20 bytes, no options).
+	var transport []byte
+	proto := p.IPv4.Proto
+	switch {
+	case p.TCP != nil:
+		proto = ProtoTCP
+		transport = make([]byte, 20)
+		binary.BigEndian.PutUint16(transport[0:], p.TCP.Src)
+		binary.BigEndian.PutUint16(transport[2:], p.TCP.Dst)
+		transport[12] = 5 << 4 // data offset
+	case p.UDP != nil:
+		proto = ProtoUDP
+		transport = make([]byte, 8)
+		binary.BigEndian.PutUint16(transport[0:], p.UDP.Src)
+		binary.BigEndian.PutUint16(transport[2:], p.UDP.Dst)
+		binary.BigEndian.PutUint16(transport[4:], uint16(8+len(p.Payload)))
+	}
+	total := 20 + len(transport) + len(p.Payload)
+	hdr := make([]byte, 20)
+	hdr[0] = 0x45 // version 4, IHL 5
+	hdr[1] = p.IPv4.TOS
+	binary.BigEndian.PutUint16(hdr[2:], uint16(total))
+	ttl := p.IPv4.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	hdr[8] = ttl
+	hdr[9] = proto
+	copy(hdr[12:16], p.IPv4.Src[:])
+	copy(hdr[16:20], p.IPv4.Dst[:])
+	binary.BigEndian.PutUint16(hdr[10:], checksum(hdr))
+	b = append(b, hdr...)
+	b = append(b, transport...)
+	return append(b, p.Payload...)
+}
+
+// checksum is the ones-complement sum used by the IPv4 header.
+func checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// Parse decodes a wire-format packet produced by Marshal (or any
+// conformant Ethernet/IPv4/TCP/UDP frame without IP options).
+func Parse(b []byte) (*Packet, error) {
+	if len(b) < 14 {
+		return nil, fmt.Errorf("packet: truncated Ethernet header (%d bytes)", len(b))
+	}
+	p := &Packet{VLAN: VLANNone}
+	copy(p.EthDst[:], b[0:6])
+	copy(p.EthSrc[:], b[6:12])
+	etherType := binary.BigEndian.Uint16(b[12:14])
+	rest := b[14:]
+	if etherType == EtherTypeVLAN {
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("packet: truncated VLAN tag")
+		}
+		p.VLAN = int(binary.BigEndian.Uint16(rest[0:2]) & 0x0fff)
+		etherType = binary.BigEndian.Uint16(rest[2:4])
+		rest = rest[4:]
+	}
+	p.EtherType = etherType
+	if etherType != EtherTypeIPv4 {
+		p.Payload = append([]byte(nil), rest...)
+		return p, nil
+	}
+	if len(rest) < 20 {
+		return nil, fmt.Errorf("packet: truncated IPv4 header")
+	}
+	if rest[0]>>4 != 4 {
+		return nil, fmt.Errorf("packet: not IPv4 (version %d)", rest[0]>>4)
+	}
+	ihl := int(rest[0]&0x0f) * 4
+	if ihl < 20 || len(rest) < ihl {
+		return nil, fmt.Errorf("packet: bad IPv4 IHL %d", ihl)
+	}
+	if checksum(rest[:ihl]) != 0 {
+		return nil, fmt.Errorf("packet: IPv4 header checksum mismatch")
+	}
+	ip := &IPv4{Proto: rest[9], TOS: rest[1], TTL: rest[8]}
+	copy(ip.Src[:], rest[12:16])
+	copy(ip.Dst[:], rest[16:20])
+	p.IPv4 = ip
+	total := int(binary.BigEndian.Uint16(rest[2:4]))
+	if total > len(rest) {
+		return nil, fmt.Errorf("packet: IPv4 total length %d exceeds frame", total)
+	}
+	body := rest[ihl:total]
+	switch ip.Proto {
+	case ProtoTCP:
+		if len(body) < 20 {
+			return nil, fmt.Errorf("packet: truncated TCP header")
+		}
+		off := int(body[12]>>4) * 4
+		if off < 20 || len(body) < off {
+			return nil, fmt.Errorf("packet: bad TCP offset %d", off)
+		}
+		p.TCP = &TCP{
+			Src: binary.BigEndian.Uint16(body[0:2]),
+			Dst: binary.BigEndian.Uint16(body[2:4]),
+		}
+		p.Payload = append([]byte(nil), body[off:]...)
+	case ProtoUDP:
+		if len(body) < 8 {
+			return nil, fmt.Errorf("packet: truncated UDP header")
+		}
+		p.UDP = &UDP{
+			Src: binary.BigEndian.Uint16(body[0:2]),
+			Dst: binary.BigEndian.Uint16(body[2:4]),
+		}
+		p.Payload = append([]byte(nil), body[8:]...)
+	default:
+		p.Payload = append([]byte(nil), body...)
+	}
+	return p, nil
+}
+
+// TCPPacket is a convenience constructor for the common test shape.
+func TCPPacket(ethSrc, ethDst string, ipSrc, ipDst string, srcPort, dstPort uint16, payload []byte) *Packet {
+	return &Packet{
+		EthSrc:  MustMAC(ethSrc),
+		EthDst:  MustMAC(ethDst),
+		VLAN:    VLANNone,
+		IPv4:    &IPv4{Src: MustIP(ipSrc), Dst: MustIP(ipDst), Proto: ProtoTCP},
+		TCP:     &TCP{Src: srcPort, Dst: dstPort},
+		Payload: append([]byte(nil), payload...),
+	}
+}
+
+// UDPPacket is a convenience constructor for UDP traffic.
+func UDPPacket(ethSrc, ethDst string, ipSrc, ipDst string, srcPort, dstPort uint16, payload []byte) *Packet {
+	return &Packet{
+		EthSrc:  MustMAC(ethSrc),
+		EthDst:  MustMAC(ethDst),
+		VLAN:    VLANNone,
+		IPv4:    &IPv4{Src: MustIP(ipSrc), Dst: MustIP(ipDst), Proto: ProtoUDP},
+		UDP:     &UDP{Src: srcPort, Dst: dstPort},
+		Payload: append([]byte(nil), payload...),
+	}
+}

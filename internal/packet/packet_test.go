@@ -1,0 +1,212 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"merlin/internal/pred"
+)
+
+func TestMACRoundTrip(t *testing.T) {
+	m, err := ParseMAC("00:1a:2B:3c:4D:5e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.String() != "00:1a:2b:3c:4d:5e" {
+		t.Fatalf("MAC = %s", m)
+	}
+	for _, bad := range []string{"", "00:00", "zz:00:00:00:00:00", "00-00-00-00-00-00"} {
+		if _, err := ParseMAC(bad); err == nil {
+			t.Errorf("ParseMAC(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestIPRoundTrip(t *testing.T) {
+	ip, err := ParseIP("192.168.1.200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.String() != "192.168.1.200" {
+		t.Fatalf("IP = %s", ip)
+	}
+	for _, bad := range []string{"", "1.2.3", "256.1.1.1", "a.b.c.d"} {
+		if _, err := ParseIP(bad); err == nil {
+			t.Errorf("ParseIP(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestTCPMarshalParse(t *testing.T) {
+	p := TCPPacket("00:00:00:00:00:01", "00:00:00:00:00:02",
+		"10.0.0.1", "10.0.0.2", 44123, 80, []byte("GET /"))
+	q, err := Parse(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.EthSrc != p.EthSrc || q.EthDst != p.EthDst {
+		t.Error("ethernet addresses changed")
+	}
+	if q.IPv4 == nil || q.IPv4.Src != p.IPv4.Src || q.IPv4.Dst != p.IPv4.Dst {
+		t.Error("IP layer changed")
+	}
+	if q.TCP == nil || q.TCP.Src != 44123 || q.TCP.Dst != 80 {
+		t.Error("TCP ports changed")
+	}
+	if !bytes.Equal(q.Payload, []byte("GET /")) {
+		t.Errorf("payload = %q", q.Payload)
+	}
+	if q.VLAN != VLANNone {
+		t.Error("phantom VLAN")
+	}
+}
+
+func TestUDPMarshalParse(t *testing.T) {
+	p := UDPPacket("00:00:00:00:00:01", "00:00:00:00:00:02",
+		"10.0.0.1", "10.0.0.2", 5000, 53, []byte{1, 2, 3})
+	q, err := Parse(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.UDP == nil || q.UDP.Dst != 53 {
+		t.Fatal("UDP layer lost")
+	}
+	if !bytes.Equal(q.Payload, []byte{1, 2, 3}) {
+		t.Errorf("payload = %v", q.Payload)
+	}
+}
+
+func TestVLANTagging(t *testing.T) {
+	p := TCPPacket("00:00:00:00:00:01", "00:00:00:00:00:02",
+		"10.0.0.1", "10.0.0.2", 1, 2, nil)
+	p.VLAN = 42
+	q, err := Parse(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.VLAN != 42 {
+		t.Fatalf("VLAN = %d, want 42", q.VLAN)
+	}
+	if q.TCP == nil {
+		t.Fatal("TCP lost under VLAN")
+	}
+}
+
+func TestChecksumValidation(t *testing.T) {
+	p := TCPPacket("00:00:00:00:00:01", "00:00:00:00:00:02",
+		"10.0.0.1", "10.0.0.2", 1, 2, nil)
+	raw := p.Marshal()
+	raw[14+8] ^= 0xff // corrupt TTL inside the IP header
+	if _, err := Parse(raw); err == nil {
+		t.Fatal("corrupted header accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, raw := range [][]byte{
+		nil,
+		make([]byte, 5),
+		append(make([]byte, 12), 0x81, 0x00), // VLAN type but no tag
+	} {
+		if _, err := Parse(raw); err == nil {
+			t.Errorf("Parse(%d bytes) succeeded", len(raw))
+		}
+	}
+}
+
+func TestFieldsAndPredicateBridge(t *testing.T) {
+	p := TCPPacket("00:00:00:00:00:01", "00:00:00:00:00:02",
+		"10.0.0.1", "10.0.0.2", 999, 80, []byte("x"))
+	web := pred.Conj(
+		pred.Test{Field: "eth.src", Value: "00:00:00:00:00:01"},
+		pred.Test{Field: "tcp.dst", Value: "80"},
+	)
+	if !p.Matches(web) {
+		t.Error("packet should match web predicate")
+	}
+	ssh := pred.Test{Field: "tcp.dst", Value: "22"}
+	if p.Matches(ssh) {
+		t.Error("packet should not match ssh predicate")
+	}
+	f := p.Fields()
+	if f["ip.proto"] != "6" || f["payload"] != "x" {
+		t.Errorf("fields = %v", f)
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := TCPPacket("00:00:00:00:00:01", "00:00:00:00:00:02",
+		"10.0.0.1", "10.0.0.2", 1, 2, []byte("abc"))
+	q := p.Clone()
+	q.TCP.Dst = 99
+	q.Payload[0] = 'z'
+	if p.TCP.Dst != 2 || p.Payload[0] != 'a' {
+		t.Fatal("Clone aliases storage")
+	}
+}
+
+func TestNonIPPayload(t *testing.T) {
+	p := &Packet{
+		EthSrc:    MustMAC("00:00:00:00:00:01"),
+		EthDst:    MustMAC("00:00:00:00:00:02"),
+		EtherType: 0x88cc, // LLDP
+		VLAN:      VLANNone,
+		Payload:   []byte{9, 9},
+	}
+	q, err := Parse(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.EtherType != 0x88cc || q.IPv4 != nil {
+		t.Fatalf("non-IP frame mangled: %+v", q)
+	}
+}
+
+// Property: Marshal/Parse round-trips arbitrary TCP packets.
+func TestMarshalParseRoundTripProperty(t *testing.T) {
+	check := func(srcPort, dstPort uint16, a, b, c, d byte, payload []byte) bool {
+		if len(payload) > 1200 {
+			payload = payload[:1200]
+		}
+		p := &Packet{
+			EthSrc:  MAC{0, 0, 0, 0, 0, a},
+			EthDst:  MAC{0, 0, 0, 0, 0, b},
+			VLAN:    VLANNone,
+			IPv4:    &IPv4{Src: IP{10, 0, c, d}, Dst: IP{10, 1, d, c}, Proto: ProtoTCP},
+			TCP:     &TCP{Src: srcPort, Dst: dstPort},
+			Payload: payload,
+		}
+		q, err := Parse(p.Marshal())
+		if err != nil {
+			return false
+		}
+		return q.EthSrc == p.EthSrc && q.EthDst == p.EthDst &&
+			q.IPv4.Src == p.IPv4.Src && q.IPv4.Dst == p.IPv4.Dst &&
+			q.TCP.Src == srcPort && q.TCP.Dst == dstPort &&
+			bytes.Equal(q.Payload, payload)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	p := TCPPacket("00:00:00:00:00:01", "00:00:00:00:00:02",
+		"10.0.0.1", "10.0.0.2", 999, 80, make([]byte, 512))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Marshal()
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	raw := TCPPacket("00:00:00:00:00:01", "00:00:00:00:00:02",
+		"10.0.0.1", "10.0.0.2", 999, 80, make([]byte, 512)).Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

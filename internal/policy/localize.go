@@ -1,0 +1,123 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Alloc is the localized bandwidth allocation for one statement after
+// formula localization (§3.1): a per-statement cap and guarantee.
+type Alloc struct {
+	// Max is the bandwidth cap in bits/s; +Inf when unconstrained.
+	Max float64
+	// Min is the guaranteed bandwidth in bits/s; 0 when none.
+	Min float64
+}
+
+// Unconstrained is the allocation of a statement no formula term mentions.
+var Unconstrained = Alloc{Max: math.Inf(1), Min: 0}
+
+// SplitFunc divides an aggregate rate across the identifiers of a term.
+// The returned shares must sum to at most rate for caps (and at least rate
+// for guarantees to remain faithful); Localize verifies the sum matches.
+type SplitFunc func(ids []string, rate float64) map[string]float64
+
+// EqualSplit divides the rate equally — the compiler's default (§3.1).
+func EqualSplit(ids []string, rate float64) map[string]float64 {
+	out := make(map[string]float64, len(ids))
+	share := rate / float64(len(ids))
+	for _, id := range ids {
+		out[id] = share
+	}
+	return out
+}
+
+// WeightedSplit builds a SplitFunc dividing rates proportionally to the
+// given weights (identifiers without a weight get weight 1).
+func WeightedSplit(weights map[string]float64) SplitFunc {
+	return func(ids []string, rate float64) map[string]float64 {
+		total := 0.0
+		for _, id := range ids {
+			w := weights[id]
+			if w <= 0 {
+				w = 1
+			}
+			total += w
+		}
+		out := make(map[string]float64, len(ids))
+		for _, id := range ids {
+			w := weights[id]
+			if w <= 0 {
+				w = 1
+			}
+			out[id] = rate * w / total
+		}
+		return out
+	}
+}
+
+// Localize rewrites a global bandwidth formula into per-statement local
+// allocations (§3.1): a term over n identifiers becomes n single-identifier
+// terms whose conjunction implies the original. Aggregate caps are divided
+// by the split function; guarantees likewise. Terms with constant offsets
+// subtract the constant before splitting. Only conjunctions of max/min
+// terms are localizable.
+//
+// When several terms constrain the same statement, the tightest cap and
+// the largest guarantee win.
+func Localize(f Formula, split SplitFunc) (map[string]Alloc, error) {
+	if split == nil {
+		split = EqualSplit
+	}
+	maxes, mins, err := Terms(f)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]Alloc{}
+	get := func(id string) Alloc {
+		if a, ok := out[id]; ok {
+			return a
+		}
+		return Unconstrained
+	}
+	for _, m := range maxes {
+		if len(m.Expr.IDs) == 0 {
+			continue
+		}
+		rate := m.Rate - m.Expr.Const
+		if rate < 0 {
+			return nil, fmt.Errorf("policy: cap %s is below its constant term", m)
+		}
+		for id, share := range split(m.Expr.IDs, rate) {
+			a := get(id)
+			if share < a.Max {
+				a.Max = share
+			}
+			out[id] = a
+		}
+	}
+	for _, m := range mins {
+		if len(m.Expr.IDs) == 0 {
+			continue
+		}
+		rate := m.Rate - m.Expr.Const
+		if rate <= 0 {
+			continue // guarantee already satisfied by the constant
+		}
+		for id, share := range split(m.Expr.IDs, rate) {
+			a := get(id)
+			if share > a.Min {
+				a.Min = share
+			}
+			out[id] = a
+		}
+	}
+	// Sanity: a statement's guarantee must not exceed its cap.
+	for id, a := range out {
+		if a.Min > a.Max {
+			return nil, fmt.Errorf("policy: statement %q guaranteed %s but capped at %s",
+				id, FormatRate(a.Min), FormatRate(a.Max))
+		}
+	}
+	return out, nil
+}

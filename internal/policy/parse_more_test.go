@@ -1,0 +1,86 @@
+package policy
+
+import (
+	"testing"
+
+	"merlin/internal/pred"
+)
+
+// A foreach template directly followed by a statement block must not
+// swallow the block as part of its own template (regression: the
+// template-predicate lookahead once scanned past '[').
+func TestForeachFollowedByBlock(t *testing.T) {
+	src := `
+foreach (s,d) in cross(hs,hs): .*
+[ g0 : (eth.src = 00:00:00:00:00:01 and eth.dst = 00:00:00:00:00:02) -> .* at min(1Mbps) ]
+`
+	pol, err := Parse(src, Env{Sets: map[string][]string{"hs": {"h1", "h2"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pol.Statements) != 3 { // 2 foreach pairs + g0
+		t.Fatalf("statements = %d, want 3", len(pol.Statements))
+	}
+	if _, ok := pol.Statement("g0"); !ok {
+		t.Fatal("g0 lost")
+	}
+	_, mins, err := Terms(pol.Formula)
+	if err != nil || len(mins) != 1 {
+		t.Fatalf("mins = %v (%v)", mins, err)
+	}
+}
+
+// Multiple blocks and formulas accumulate.
+func TestMultipleBlocksAndFormulas(t *testing.T) {
+	src := `
+[ a : tcp.dst = 80 -> .* ], max(a, 10MB/s)
+[ b : tcp.dst = 22 -> .* ], max(b, 5MB/s)
+`
+	pol, err := Parse(src, Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pol.Statements) != 2 {
+		t.Fatalf("statements = %d", len(pol.Statements))
+	}
+	maxes, _, err := Terms(pol.Formula)
+	if err != nil || len(maxes) != 2 {
+		t.Fatalf("maxes = %v", maxes)
+	}
+}
+
+// Statements may appear bare (outside brackets).
+func TestBareStatements(t *testing.T) {
+	pol, err := Parse(`a : tcp.dst = 80 -> .* dpi .* ; b : tcp.dst = 22 -> .*`, Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pol.Statements) != 2 {
+		t.Fatalf("statements = %d", len(pol.Statements))
+	}
+}
+
+// Paths with alternation of waypoint groups parse with correct precedence.
+func TestPathPrecedence(t *testing.T) {
+	pol, err := Parse(`[ a : true -> .* (m1|m2) .* | .* m3 .* ]`, Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pol.Statements[0].Path.String()
+	want := "(.* (m1|m2) .*|.* m3 .*)"
+	if got != want {
+		t.Fatalf("path = %q, want %q", got, want)
+	}
+}
+
+// MAC addresses never collide with statement-identifier colons.
+func TestMACVersusColonAmbiguity(t *testing.T) {
+	pol, err := Parse(`[ aa : eth.src = aa:bb:cc:dd:ee:ff -> .* ]`, Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pol.Statements[0].Predicate
+	if !pred.Matches(p, map[pred.Field]string{"eth.src": "aa:bb:cc:dd:ee:ff"}) {
+		t.Fatal("MAC literal mangled")
+	}
+}

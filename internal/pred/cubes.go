@@ -1,0 +1,114 @@
+package pred
+
+import "fmt"
+
+// maxExpandCubes bounds classifier expansion; policy predicates are
+// shallow, so hitting this indicates a pathological input.
+const maxExpandCubes = 1 << 16
+
+// PositiveCubes expands p into disjunctive normal form and returns the
+// positive literals of each satisfiable cube. It is the classifier
+// expansion code generation uses to turn a statement predicate into
+// match rules: under the first-match priority ordering the compiler
+// emits (statements earlier in the policy shadow later ones), negated
+// literals are enforced by the higher-priority rules of the statements
+// that own the negated values, so each rule needs only the positive
+// tests. Unsatisfiable cubes are dropped; a tautological predicate
+// yields one empty cube.
+func PositiveCubes(p Pred) ([][]Test, error) {
+	n, err := toNNF(p, false)
+	if err != nil {
+		return nil, err
+	}
+	cubes, err := expandCubes(n)
+	if err != nil {
+		return nil, err
+	}
+	var out [][]Test
+	for _, c := range cubes {
+		if !cubeConsistent(c) {
+			continue
+		}
+		var pos []Test
+		for _, l := range c {
+			if !l.neg {
+				pos = append(pos, Test{Field: l.field, Value: l.value})
+			}
+		}
+		out = append(out, dedupTests(pos))
+	}
+	return out, nil
+}
+
+func expandCubes(n nnf) ([][]nnfLit, error) {
+	switch x := n.(type) {
+	case nnfTrue:
+		return [][]nnfLit{{}}, nil
+	case nnfFalse:
+		return nil, nil
+	case nnfLit:
+		return [][]nnfLit{{x}}, nil
+	case nnfAnd:
+		out := [][]nnfLit{{}}
+		for _, part := range x.parts {
+			sub, err := expandCubes(part)
+			if err != nil {
+				return nil, err
+			}
+			if len(out)*len(sub) > maxExpandCubes {
+				return nil, fmt.Errorf("pred: classifier expansion too large")
+			}
+			var next [][]nnfLit
+			for _, a := range out {
+				for _, b := range sub {
+					cube := make([]nnfLit, 0, len(a)+len(b))
+					cube = append(cube, a...)
+					cube = append(cube, b...)
+					next = append(next, cube)
+				}
+			}
+			out = next
+		}
+		return out, nil
+	case nnfOr:
+		var out [][]nnfLit
+		for _, part := range x.parts {
+			sub, err := expandCubes(part)
+			if err != nil {
+				return nil, err
+			}
+			if len(out)+len(sub) > maxExpandCubes {
+				return nil, fmt.Errorf("pred: classifier expansion too large")
+			}
+			out = append(out, sub...)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("pred: unknown NNF node %T", n)
+	}
+}
+
+// cubeConsistent checks a literal conjunction the same way the
+// satisfiability search does, without the search machinery.
+func cubeConsistent(c []nnfLit) bool {
+	a := newAssignment()
+	for _, l := range c {
+		ok, _ := a.bind(l)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func dedupTests(ts []Test) []Test {
+	seen := make(map[Test]bool, len(ts))
+	out := ts[:0]
+	for _, t := range ts {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}

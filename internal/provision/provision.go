@@ -1,0 +1,384 @@
+// Package provision allocates bandwidth-guaranteed paths: it encodes the
+// logical topology and the localized guarantees into the mixed-integer
+// program of §3.2 (equations 1–5), solves it with the bundled
+// branch-and-bound solver, and decodes the chosen paths and reservations.
+// It also implements the greedy sequential allocator used as the ablation
+// baseline (the approximation-algorithm family the paper cites as the
+// alternative to mixed-integer programming).
+package provision
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"merlin/internal/logical"
+	"merlin/internal/lp"
+	"merlin/internal/mip"
+	"merlin/internal/topo"
+)
+
+// Heuristic selects among the three path-selection objectives of §3.2.
+type Heuristic int
+
+// Path-selection heuristics (Figure 3).
+const (
+	// WeightedShortestPath minimizes total hops weighted by guarantees —
+	// the latency-oriented objective.
+	WeightedShortestPath Heuristic = iota
+	// MinMaxRatio minimizes the maximum fraction of any link's capacity
+	// that is reserved — the load-balancing objective.
+	MinMaxRatio
+	// MinMaxReserved minimizes the maximum absolute bandwidth reserved on
+	// any link — the failure-blast-radius objective.
+	MinMaxReserved
+)
+
+func (h Heuristic) String() string {
+	switch h {
+	case WeightedShortestPath:
+		return "weighted-shortest-path"
+	case MinMaxRatio:
+		return "min-max-ratio"
+	case MinMaxReserved:
+		return "min-max-reserved"
+	default:
+		return "heuristic"
+	}
+}
+
+// Request is one statement needing a guaranteed path.
+type Request struct {
+	ID      string
+	Graph   *logical.Graph
+	MinRate float64 // guaranteed bits/s (r_min^i); may be 0 for pure path constraints
+}
+
+// Result reports the provisioning outcome.
+type Result struct {
+	// Paths maps request IDs to their decoded paths.
+	Paths map[string][]logical.Step
+	// Reserved is the guaranteed bits/s riding each directed link.
+	Reserved map[topo.LinkID]float64
+	// RMax is the maximum reserved fraction of any cable (the paper's
+	// r_max), and RMaxBits the maximum absolute reservation (R_max).
+	RMax     float64
+	RMaxBits float64
+	// ConstructTime and SolveTime split the Table 7 cost columns.
+	ConstructTime time.Duration
+	SolveTime     time.Duration
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+}
+
+// Params tune the solve.
+type Params struct {
+	MIP mip.Params
+	// HopEpsilon is the tie-breaking cost per physical hop added to every
+	// objective so solutions avoid gratuitous cycles. Zero means default.
+	HopEpsilon float64
+}
+
+// rateUnit scales bits/s into MIP-friendly magnitudes (Mbps).
+const rateUnit = 1e6
+
+// Solve provisions all requests jointly on the topology using the given
+// heuristic. Every request's graph must be built against t.
+func Solve(t *topo.Topology, reqs []Request, h Heuristic, p Params) (*Result, error) {
+	start := time.Now()
+	eps := p.HopEpsilon
+	if eps == 0 {
+		eps = 1e-4
+	}
+	model := mip.NewModel()
+
+	// Canonical cable: the lower of the two directed link IDs.
+	cable := func(l topo.LinkID) topo.LinkID {
+		r := t.Link(l).Reverse
+		if r < l {
+			return r
+		}
+		return l
+	}
+	// x variables per request edge.
+	type edgeVar struct {
+		req  int
+		edge int
+	}
+	xvars := make([][]int, len(reqs))
+	var varMeta []edgeVar
+	for i, r := range reqs {
+		xvars[i] = make([]int, len(r.Graph.Edges))
+		for e := range r.Graph.Edges {
+			v := model.AddBinVar(0, fmt.Sprintf("x_%s_%d", r.ID, e))
+			xvars[i][e] = v
+			varMeta = append(varMeta, edgeVar{i, e})
+		}
+	}
+	_ = varMeta
+	// Flow conservation (eq. 1) per product vertex with incident edges.
+	for i, r := range reqs {
+		g := r.Graph
+		for v := 0; v < g.NumVerts; v++ {
+			outs, ins := g.Out[v], g.In[v]
+			if len(outs) == 0 && len(ins) == 0 {
+				continue
+			}
+			terms := make([]lp.Term, 0, len(outs)+len(ins))
+			for _, e := range outs {
+				terms = append(terms, lp.Term{Var: xvars[i][e], Coeff: 1})
+			}
+			for _, e := range ins {
+				terms = append(terms, lp.Term{Var: xvars[i][e], Coeff: -1})
+			}
+			rhs := 0.0
+			switch v {
+			case g.Source:
+				rhs = 1
+			case g.Sink:
+				rhs = -1
+			}
+			model.AddConstraint(terms, lp.EQ, rhs, fmt.Sprintf("flow_%s_%d", r.ID, v))
+		}
+	}
+	// Reservation variables r_uv per cable (eq. 2), plus rmax (eqs. 3, 5)
+	// and Rmax (eq. 4). Cables no guaranteed edge can ride are skipped.
+	cableTerms := map[topo.LinkID][]lp.Term{}
+	for i, r := range reqs {
+		if r.MinRate == 0 {
+			continue
+		}
+		for e, ed := range r.Graph.Edges {
+			if ed.Link < 0 {
+				continue
+			}
+			c := cable(ed.Link)
+			cableTerms[c] = append(cableTerms[c], lp.Term{Var: xvars[i][e], Coeff: r.MinRate / rateUnit})
+		}
+	}
+	rmax := model.Model.AddVar(0, 1, 0, "rmax") // eq. 5: rmax <= 1
+	rmaxBits := model.Model.AddVar(0, math.Inf(1), 0, "Rmax")
+	for c, terms := range cableTerms {
+		capBits := t.Link(c).Capacity
+		ruv := model.Model.AddVar(0, 1, 0, fmt.Sprintf("r_%d", c))
+		// eq. 2: ruv * cuv = Σ rmin_i x_e  ⇔  ruv - Σ (rmin/c) x_e = 0
+		eq := append([]lp.Term{{Var: ruv, Coeff: capBits / rateUnit}}, negate(terms)...)
+		model.AddConstraint(eq, lp.EQ, 0, fmt.Sprintf("reserve_%d", c))
+		// eq. 3: rmax >= ruv
+		model.AddConstraint([]lp.Term{{Var: rmax, Coeff: 1}, {Var: ruv, Coeff: -1}}, lp.GE, 0, "rmax")
+		// eq. 4: Rmax >= ruv * cuv (in rate units)
+		model.AddConstraint([]lp.Term{{Var: rmaxBits, Coeff: 1}, {Var: ruv, Coeff: -(capBits / rateUnit)}}, lp.GE, 0, "Rmax")
+	}
+	// Objective.
+	for i, r := range reqs {
+		for e, ed := range r.Graph.Edges {
+			if ed.Link < 0 {
+				continue
+			}
+			cost := eps
+			if h == WeightedShortestPath {
+				cost += r.MinRate / rateUnit
+			}
+			model.SetCost(xvars[i][e], cost)
+		}
+	}
+	switch h {
+	case MinMaxRatio:
+		model.SetCost(rmax, 1000) // dominates the epsilon hop costs
+	case MinMaxReserved:
+		model.SetCost(rmaxBits, 1)
+	}
+	construct := time.Since(start)
+
+	solveStart := time.Now()
+	sol := model.Solve(p.MIP)
+	solveTime := time.Since(solveStart)
+	switch sol.Status {
+	case mip.Optimal:
+		// proceed
+	case mip.Infeasible:
+		return nil, fmt.Errorf("provision: no assignment satisfies the path and bandwidth constraints")
+	default:
+		return nil, fmt.Errorf("provision: solver stopped with status %v", sol.Status)
+	}
+
+	res := &Result{
+		Paths:         make(map[string][]logical.Step, len(reqs)),
+		Reserved:      map[topo.LinkID]float64{},
+		ConstructTime: construct,
+		SolveTime:     solveTime,
+		Nodes:         sol.Nodes,
+	}
+	for i, r := range reqs {
+		vars := xvars[i]
+		steps, err := r.Graph.ExtractPath(func(e int) bool { return sol.X[vars[e]] > 0.5 })
+		if err != nil {
+			return nil, fmt.Errorf("provision: decoding %s: %w", r.ID, err)
+		}
+		res.Paths[r.ID] = steps
+		addReservations(t, res.Reserved, steps, r.MinRate)
+	}
+	res.RMax, res.RMaxBits = reservedStats(t, res.Reserved)
+	return res, nil
+}
+
+func negate(ts []lp.Term) []lp.Term {
+	out := make([]lp.Term, len(ts))
+	for i, t := range ts {
+		out[i] = lp.Term{Var: t.Var, Coeff: -t.Coeff}
+	}
+	return out
+}
+
+// addReservations walks a decoded path and accumulates the guarantee onto
+// each directed physical link it crosses.
+func addReservations(t *topo.Topology, reserved map[topo.LinkID]float64, steps []logical.Step, rate float64) {
+	if rate == 0 {
+		return
+	}
+	locs := logical.Locations(steps)
+	for i := 1; i < len(locs); i++ {
+		l, ok := t.FindLink(locs[i-1], locs[i])
+		if !ok {
+			continue
+		}
+		reserved[l.ID] += rate
+	}
+}
+
+// reservedStats computes the paper's r_max (max cable fraction, both
+// directions pooled as in eq. 2) and R_max (max cable bits/s).
+func reservedStats(t *topo.Topology, reserved map[topo.LinkID]float64) (rmax, rmaxBits float64) {
+	cableTotal := map[topo.LinkID]float64{}
+	for lid, bits := range reserved {
+		c := lid
+		if r := t.Link(lid).Reverse; r < c {
+			c = r
+		}
+		cableTotal[c] += bits
+	}
+	for c, bits := range cableTotal {
+		if bits > rmaxBits {
+			rmaxBits = bits
+		}
+		if f := bits / t.Link(c).Capacity; f > rmax {
+			rmax = f
+		}
+	}
+	return rmax, rmaxBits
+}
+
+// Validate checks that no cable is reserved beyond capacity (eq. 5 in
+// decoded form). It returns the first violation found.
+func (r *Result) Validate(t *topo.Topology) error {
+	rmax, _ := reservedStats(t, r.Reserved)
+	if rmax > 1+1e-6 {
+		return fmt.Errorf("provision: reservations exceed capacity (rmax = %.3f)", rmax)
+	}
+	return nil
+}
+
+// Greedy is the sequential baseline allocator: requests are served
+// largest-guarantee-first along the shortest satisfying path whose links
+// still have headroom. It is fast but can strand capacity and fail on
+// instances the MIP solves (the classic integrality-versus-greedy gap).
+func Greedy(t *topo.Topology, reqs []Request) (*Result, error) {
+	start := time.Now()
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	// Largest guarantee first.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && reqs[order[j]].MinRate > reqs[order[j-1]].MinRate; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	res := &Result{
+		Paths:    make(map[string][]logical.Step, len(reqs)),
+		Reserved: map[topo.LinkID]float64{},
+	}
+	cableUsed := map[topo.LinkID]float64{}
+	cable := func(l topo.LinkID) topo.LinkID {
+		if r := t.Link(l).Reverse; r < l {
+			return r
+		}
+		return l
+	}
+	for _, i := range order {
+		r := reqs[i]
+		ids := shortestWithHeadroom(r.Graph, t, cableUsed, cable, r.MinRate)
+		if ids == nil {
+			return nil, fmt.Errorf("provision: greedy failed to place %s", r.ID)
+		}
+		steps, err := r.Graph.DecodePath(ids)
+		if err != nil {
+			return nil, err
+		}
+		res.Paths[r.ID] = steps
+		addReservations(t, res.Reserved, steps, r.MinRate)
+		locs := logical.Locations(steps)
+		for k := 1; k < len(locs); k++ {
+			if l, ok := t.FindLink(locs[k-1], locs[k]); ok {
+				cableUsed[cable(l.ID)] += r.MinRate
+			}
+		}
+	}
+	res.RMax, res.RMaxBits = reservedStats(t, res.Reserved)
+	res.SolveTime = time.Since(start)
+	return res, nil
+}
+
+// shortestWithHeadroom is a 0/1 BFS over the product graph skipping
+// physical edges whose cable lacks headroom for the request.
+func shortestWithHeadroom(g *logical.Graph, t *topo.Topology, used map[topo.LinkID]float64, cable func(topo.LinkID) topo.LinkID, rate float64) []int {
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, g.NumVerts)
+	parent := make([]int32, g.NumVerts)
+	for i := range dist {
+		dist[i] = inf
+		parent[i] = -1
+	}
+	dist[g.Source] = 0
+	deque := []int{g.Source}
+	for len(deque) > 0 {
+		v := deque[0]
+		deque = deque[1:]
+		for _, eid := range g.Out[v] {
+			e := g.Edges[eid]
+			w := 0
+			if e.Link >= 0 {
+				w = 1
+				if rate > 0 {
+					c := cable(e.Link)
+					if used[c]+rate > t.Link(c).Capacity+1e-9 {
+						continue // insufficient headroom
+					}
+				}
+			}
+			if dist[v]+w < dist[e.To] {
+				dist[e.To] = dist[v] + w
+				parent[e.To] = eid
+				if w == 0 {
+					deque = append([]int{e.To}, deque...)
+				} else {
+					deque = append(deque, e.To)
+				}
+			}
+		}
+	}
+	if dist[g.Sink] == inf {
+		return nil
+	}
+	var rev []int
+	for v := g.Sink; v != g.Source; {
+		eid := parent[v]
+		rev = append(rev, int(eid))
+		v = g.Edges[eid].From
+	}
+	out := make([]int, len(rev))
+	for i, eid := range rev {
+		out[len(rev)-1-i] = eid
+	}
+	return out
+}

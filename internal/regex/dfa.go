@@ -1,0 +1,515 @@
+package regex
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DFA is a complete deterministic automaton: every state has exactly one
+// successor per alphabet symbol (a dead state absorbs non-matches).
+type DFA struct {
+	Alphabet *Alphabet
+	States   int
+	Start    int
+	Accept   []bool
+	Trans    [][]int // Trans[state][symbol]
+}
+
+// Determinize performs the subset construction, producing a complete DFA.
+func (n *NFA) Determinize() *DFA {
+	size := n.Alphabet.Size()
+	// Index NFA edges by source for the move computation.
+	outByState := make([][]Edge, n.States)
+	for _, e := range n.Edges {
+		outByState[e.From] = append(outByState[e.From], e)
+	}
+	key := func(set []bool) string {
+		var sb strings.Builder
+		for q, in := range set {
+			if in {
+				fmt.Fprintf(&sb, "%d,", q)
+			}
+		}
+		return sb.String()
+	}
+	start := make([]bool, n.States)
+	start[n.Start] = true
+	n.closure(start)
+
+	d := &DFA{Alphabet: n.Alphabet}
+	ids := map[string]int{}
+	var sets [][]bool
+	newState := func(set []bool) int {
+		k := key(set)
+		if id, ok := ids[k]; ok {
+			return id
+		}
+		id := d.States
+		d.States++
+		ids[k] = id
+		sets = append(sets, set)
+		acc := false
+		for q, in := range set {
+			if in && n.Accept[q] {
+				acc = true
+				break
+			}
+		}
+		d.Accept = append(d.Accept, acc)
+		d.Trans = append(d.Trans, make([]int, size))
+		return id
+	}
+	d.Start = newState(start)
+	for work := 0; work < d.States; work++ {
+		set := sets[work]
+		for sym := 0; sym < size; sym++ {
+			next := make([]bool, n.States)
+			any := false
+			for q, in := range set {
+				if !in {
+					continue
+				}
+				for _, e := range outByState[q] {
+					if e.Set.Has(sym) {
+						next[e.To] = true
+						any = true
+					}
+				}
+			}
+			if any {
+				n.closure(next)
+			}
+			d.Trans[work][sym] = newState(next)
+		}
+	}
+	return d
+}
+
+// Complement returns a DFA accepting exactly the strings d rejects.
+func (d *DFA) Complement() *DFA {
+	out := &DFA{
+		Alphabet: d.Alphabet,
+		States:   d.States,
+		Start:    d.Start,
+		Accept:   make([]bool, d.States),
+		Trans:    d.Trans,
+	}
+	for q, a := range d.Accept {
+		out.Accept[q] = !a
+	}
+	return out
+}
+
+// Intersect returns the product DFA accepting the intersection of the two
+// languages. Both automata must share the same alphabet.
+func (d *DFA) Intersect(o *DFA) *DFA {
+	if d.Alphabet != o.Alphabet {
+		panic("regex: intersecting DFAs over different alphabets")
+	}
+	size := d.Alphabet.Size()
+	type pair struct{ a, b int }
+	ids := map[pair]int{}
+	var pairs []pair
+	out := &DFA{Alphabet: d.Alphabet}
+	newState := func(p pair) int {
+		if id, ok := ids[p]; ok {
+			return id
+		}
+		id := out.States
+		out.States++
+		ids[p] = id
+		pairs = append(pairs, p)
+		out.Accept = append(out.Accept, d.Accept[p.a] && o.Accept[p.b])
+		out.Trans = append(out.Trans, make([]int, size))
+		return id
+	}
+	out.Start = newState(pair{d.Start, o.Start})
+	for work := 0; work < out.States; work++ {
+		p := pairs[work]
+		for sym := 0; sym < size; sym++ {
+			out.Trans[work][sym] = newState(pair{d.Trans[p.a][sym], o.Trans[p.b][sym]})
+		}
+	}
+	return out
+}
+
+// Empty reports whether the DFA accepts no string.
+func (d *DFA) Empty() bool {
+	seen := make([]bool, d.States)
+	stack := []int{d.Start}
+	seen[d.Start] = true
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if d.Accept[q] {
+			return false
+		}
+		for _, to := range d.Trans[q] {
+			if !seen[to] {
+				seen[to] = true
+				stack = append(stack, to)
+			}
+		}
+	}
+	return true
+}
+
+// Witness returns a shortest accepted string, or nil if the language is
+// empty. Useful in error messages ("this refinement admits path X the
+// original forbids").
+func (d *DFA) Witness() []string {
+	type entry struct {
+		state  int
+		parent int // index into trail, -1 for start
+		sym    int
+	}
+	trail := []entry{{state: d.Start, parent: -1, sym: -1}}
+	seen := make([]bool, d.States)
+	seen[d.Start] = true
+	for i := 0; i < len(trail); i++ {
+		e := trail[i]
+		if d.Accept[e.state] {
+			var rev []int
+			for j := i; trail[j].parent != -1; j = trail[j].parent {
+				rev = append(rev, trail[j].sym)
+			}
+			out := make([]string, len(rev))
+			for k := range rev {
+				out[k] = d.Alphabet.Name(rev[len(rev)-1-k])
+			}
+			return out
+		}
+		for sym := 0; sym < d.Alphabet.Size(); sym++ {
+			to := d.Trans[e.state][sym]
+			if !seen[to] {
+				seen[to] = true
+				trail = append(trail, entry{state: to, parent: i, sym: sym})
+			}
+		}
+	}
+	return nil
+}
+
+// Minimize returns an equivalent DFA with the minimum number of states,
+// using Hopcroft's partition-refinement algorithm.
+func (d *DFA) Minimize() *DFA {
+	size := d.Alphabet.Size()
+	// Restrict to reachable states first.
+	reach := make([]int, d.States)
+	for i := range reach {
+		reach[i] = -1
+	}
+	order := []int{d.Start}
+	reach[d.Start] = 0
+	for i := 0; i < len(order); i++ {
+		for _, to := range d.Trans[order[i]] {
+			if reach[to] < 0 {
+				reach[to] = len(order)
+				order = append(order, to)
+			}
+		}
+	}
+	n := len(order)
+	accept := make([]bool, n)
+	trans := make([][]int, n)
+	for newID, oldID := range order {
+		accept[newID] = d.Accept[oldID]
+		row := make([]int, size)
+		for sym, to := range d.Trans[oldID] {
+			row[sym] = reach[to]
+		}
+		trans[newID] = row
+	}
+	// Reverse transition lists for the refinement step.
+	rev := make([][][]int, size)
+	for sym := 0; sym < size; sym++ {
+		rev[sym] = make([][]int, n)
+	}
+	for q := 0; q < n; q++ {
+		for sym := 0; sym < size; sym++ {
+			to := trans[q][sym]
+			rev[sym][to] = append(rev[sym][to], q)
+		}
+	}
+	// Initial partition: accepting vs non-accepting.
+	part := make([]int, n) // state -> block id
+	var blocks [][]int
+	var accBlock, rejBlock []int
+	for q := 0; q < n; q++ {
+		if accept[q] {
+			accBlock = append(accBlock, q)
+		} else {
+			rejBlock = append(rejBlock, q)
+		}
+	}
+	addBlock := func(states []int) int {
+		id := len(blocks)
+		blocks = append(blocks, states)
+		for _, q := range states {
+			part[q] = id
+		}
+		return id
+	}
+	var worklist []int
+	if len(accBlock) > 0 {
+		worklist = append(worklist, addBlock(accBlock))
+	}
+	if len(rejBlock) > 0 {
+		worklist = append(worklist, addBlock(rejBlock))
+	}
+	inWork := make(map[int]bool)
+	for _, b := range worklist {
+		inWork[b] = true
+	}
+	for len(worklist) > 0 {
+		a := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		inWork[a] = false
+		splitter := append([]int(nil), blocks[a]...)
+		for sym := 0; sym < size; sym++ {
+			// X = states with a sym-transition into block a.
+			inX := make(map[int]bool)
+			for _, q := range splitter {
+				for _, p := range rev[sym][q] {
+					inX[p] = true
+				}
+			}
+			if len(inX) == 0 {
+				continue
+			}
+			// Split every block crossed by X.
+			affected := make(map[int]bool)
+			for p := range inX {
+				affected[part[p]] = true
+			}
+			for b := range affected {
+				var yes, no []int
+				for _, q := range blocks[b] {
+					if inX[q] {
+						yes = append(yes, q)
+					} else {
+						no = append(no, q)
+					}
+				}
+				if len(yes) == 0 || len(no) == 0 {
+					continue
+				}
+				blocks[b] = yes
+				newID := addBlock(no)
+				if inWork[b] {
+					worklist = append(worklist, newID)
+					inWork[newID] = true
+				} else {
+					// add the smaller half
+					if len(yes) <= len(no) {
+						worklist = append(worklist, b)
+						inWork[b] = true
+					} else {
+						worklist = append(worklist, newID)
+						inWork[newID] = true
+					}
+				}
+			}
+		}
+	}
+	// Build the quotient automaton.
+	out := &DFA{
+		Alphabet: d.Alphabet,
+		States:   len(blocks),
+		Start:    part[0], // state 0 is the renumbered start
+		Accept:   make([]bool, len(blocks)),
+		Trans:    make([][]int, len(blocks)),
+	}
+	for b, states := range blocks {
+		q := states[0]
+		out.Accept[b] = accept[q]
+		row := make([]int, size)
+		for sym := 0; sym < size; sym++ {
+			row[sym] = part[trans[q][sym]]
+		}
+		out.Trans[b] = row
+	}
+	return out
+}
+
+// EpsFree converts the DFA into the epsilon-free NFA form the
+// logical-topology construction consumes, trimming states that cannot
+// reach an accepting state (the dead state of the completion). Function
+// tags are absent — determinization discards them; callers recover tags
+// against the original NFA with the tag-recovery simulation.
+func (d *DFA) EpsFree() *EpsFree {
+	// Co-reachability: which states reach an accepting state?
+	size := d.Alphabet.Size()
+	rev := make([][]int, d.States)
+	for q := 0; q < d.States; q++ {
+		for sym := 0; sym < size; sym++ {
+			to := d.Trans[q][sym]
+			rev[to] = append(rev[to], q)
+		}
+	}
+	live := make([]bool, d.States)
+	var stack []int
+	for q, acc := range d.Accept {
+		if acc {
+			live[q] = true
+			stack = append(stack, q)
+		}
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range rev[q] {
+			if !live[p] {
+				live[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	// Renumber live states (keep the start state even if dead so the
+	// automaton stays well-formed for empty languages).
+	id := make([]int, d.States)
+	for i := range id {
+		id[i] = -1
+	}
+	count := 0
+	for q := 0; q < d.States; q++ {
+		if live[q] || q == d.Start {
+			id[q] = count
+			count++
+		}
+	}
+	ef := &EpsFree{
+		Alphabet: d.Alphabet,
+		States:   count,
+		Start:    id[d.Start],
+		Accept:   make([]bool, count),
+		Out:      make([][]Edge, count),
+	}
+	for q := 0; q < d.States; q++ {
+		if id[q] < 0 {
+			continue
+		}
+		ef.Accept[id[q]] = d.Accept[q]
+		// Group transitions by live target into symbol sets.
+		byTarget := make(map[int]SymSet)
+		for sym := 0; sym < size; sym++ {
+			to := d.Trans[q][sym]
+			if id[to] < 0 {
+				continue
+			}
+			set, ok := byTarget[to]
+			if !ok {
+				set = NewSymSet(size)
+				byTarget[to] = set
+			}
+			set.Add(sym)
+		}
+		targets := make([]int, 0, len(byTarget))
+		for to := range byTarget {
+			targets = append(targets, to)
+		}
+		sort.Ints(targets)
+		for _, to := range targets {
+			ef.Out[id[q]] = append(ef.Out[id[q]], Edge{From: id[q], Set: byTarget[to], To: id[to]})
+		}
+	}
+	return ef
+}
+
+// HasTags reports whether the expression contains function groups whose
+// placements must be recovered after routing.
+func HasTags(e Expr) bool {
+	switch x := e.(type) {
+	case Group:
+		return x.Tag != ""
+	case Concat:
+		return HasTags(x.L) || HasTags(x.R)
+	case Alt:
+		return HasTags(x.L) || HasTags(x.R)
+	case Star:
+		return HasTags(x.X)
+	case Not:
+		return HasTags(x.X)
+	default:
+		return false
+	}
+}
+
+// Matches reports whether the sequence of location names is accepted.
+func (d *DFA) Matches(path []string) bool {
+	q := d.Start
+	for _, name := range path {
+		sym := d.Alphabet.Symbol(name)
+		if sym < 0 {
+			return false
+		}
+		q = d.Trans[q][sym]
+	}
+	return d.Accept[q]
+}
+
+// Options configure the inclusion decision procedure.
+type Options struct {
+	// Minimize runs Hopcroft minimization on both operands before the
+	// product construction. Smaller products, but extra up-front cost.
+	Minimize bool
+}
+
+// Includes reports whether L(a) ⊆ L(b), given two expressions over a shared
+// location vocabulary. This is the verification primitive negotiators use
+// to check that a refined path constraint stays within the original (§4.2).
+// The optional witness names a path in L(a)\L(b) when inclusion fails.
+func Includes(a, b Expr, opts Options) (bool, []string, error) {
+	alpha := NewAlphabet(nil)
+	for _, s := range Symbols(a) {
+		alpha.Intern(s)
+	}
+	for _, s := range Symbols(b) {
+		alpha.Intern(s)
+	}
+	// A fresh symbol stands in for "every location neither side mentions":
+	// "." must be able to match locations outside both vocabularies, or
+	// inclusions like "log ⊆ .*" would hold vacuously for the wrong reason
+	// while ". ⊆ log|dpi" would wrongly hold.
+	alpha.Intern("\x00other")
+	na, err := Compile(a, alpha)
+	if err != nil {
+		return false, nil, err
+	}
+	nb, err := Compile(b, alpha)
+	if err != nil {
+		return false, nil, err
+	}
+	da, db := na.Determinize(), nb.Determinize()
+	if opts.Minimize {
+		da, db = da.Minimize(), db.Minimize()
+	}
+	diff := da.Intersect(db.Complement())
+	if diff.Empty() {
+		return true, nil, nil
+	}
+	return false, diff.Witness(), nil
+}
+
+// Equivalent reports whether the two expressions denote the same language.
+func Equivalent(a, b Expr) (bool, error) {
+	ab, _, err := Includes(a, b, Options{})
+	if err != nil || !ab {
+		return false, err
+	}
+	ba, _, err := Includes(b, a, Options{})
+	return ab && ba, err
+}
+
+// EmptyLanguage reports whether e denotes the empty language over the
+// vocabulary it mentions (plus the implicit "other" symbol).
+func EmptyLanguage(e Expr) (bool, error) {
+	alpha := NewAlphabet(Symbols(e))
+	alpha.Intern("\x00other")
+	n, err := Compile(e, alpha)
+	if err != nil {
+		return false, err
+	}
+	return n.Determinize().Empty(), nil
+}

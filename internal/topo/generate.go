@@ -1,0 +1,259 @@
+package topo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Gbps is a convenience capacity constant: one gigabit per second.
+const Gbps = 1e9
+
+// Mbps is one megabit per second.
+const Mbps = 1e6
+
+// MBps is one megabyte per second, the unit Merlin policies use for rates.
+const MBps = 8e6
+
+// BalancedTree builds a complete tree of switches with the given fanout and
+// depth, and hostsPerLeaf hosts attached to each leaf switch. All links have
+// the given capacity. Depth 0 yields a single switch.
+func BalancedTree(fanout, depth, hostsPerLeaf int, capacity float64) *Topology {
+	if fanout < 1 || depth < 0 || hostsPerLeaf < 0 {
+		panic("topo: invalid balanced tree parameters")
+	}
+	t := New()
+	var build func(level int, label string) NodeID
+	build = func(level int, label string) NodeID {
+		sw := t.AddSwitch("s" + label)
+		if level == depth {
+			for h := 0; h < hostsPerLeaf; h++ {
+				host := t.AddHost(fmt.Sprintf("h%s_%d", label, h))
+				t.AddLink(sw, host, capacity)
+			}
+			return sw
+		}
+		for c := 0; c < fanout; c++ {
+			child := build(level+1, fmt.Sprintf("%s_%d", label, c))
+			t.AddLink(sw, child, capacity)
+		}
+		return sw
+	}
+	build(0, "0")
+	return t
+}
+
+// FatTree builds a standard k-ary fat tree: (k/2)^2 core switches, k pods of
+// k/2 aggregation and k/2 edge switches each, and k/2 hosts per edge switch,
+// for a total of k^3/4 hosts. k must be even and at least 2. All links have
+// the given capacity.
+func FatTree(k int, capacity float64) *Topology {
+	if k < 2 || k%2 != 0 {
+		panic("topo: fat tree arity must be even and >= 2")
+	}
+	t := New()
+	half := k / 2
+	core := make([]NodeID, half*half)
+	for i := range core {
+		core[i] = t.AddSwitch(fmt.Sprintf("core%d", i))
+	}
+	for p := 0; p < k; p++ {
+		aggs := make([]NodeID, half)
+		edges := make([]NodeID, half)
+		for a := 0; a < half; a++ {
+			aggs[a] = t.AddSwitch(fmt.Sprintf("agg%d_%d", p, a))
+		}
+		for e := 0; e < half; e++ {
+			edges[e] = t.AddSwitch(fmt.Sprintf("edge%d_%d", p, e))
+		}
+		for a := 0; a < half; a++ {
+			for e := 0; e < half; e++ {
+				t.AddLink(aggs[a], edges[e], capacity)
+			}
+			// Aggregation switch a in each pod connects to core switches
+			// a*half .. a*half+half-1.
+			for c := 0; c < half; c++ {
+				t.AddLink(core[a*half+c], aggs[a], capacity)
+			}
+		}
+		for e := 0; e < half; e++ {
+			for h := 0; h < half; h++ {
+				host := t.AddHost(fmt.Sprintf("h%d_%d_%d", p, e, h))
+				t.AddLink(edges[e], host, capacity)
+			}
+		}
+	}
+	return t
+}
+
+// Linear builds a chain of n switches with one host on each end switch.
+func Linear(n int, capacity float64) *Topology {
+	if n < 1 {
+		panic("topo: linear topology needs at least one switch")
+	}
+	t := New()
+	prev := t.AddSwitch("s0")
+	first := prev
+	for i := 1; i < n; i++ {
+		sw := t.AddSwitch(fmt.Sprintf("s%d", i))
+		t.AddLink(prev, sw, capacity)
+		prev = sw
+	}
+	h1 := t.AddHost("h1")
+	h2 := t.AddHost("h2")
+	t.AddLink(first, h1, capacity)
+	t.AddLink(prev, h2, capacity)
+	return t
+}
+
+// Ring builds a cycle of n switches, each with hostsPerSwitch hosts.
+func Ring(n, hostsPerSwitch int, capacity float64) *Topology {
+	if n < 3 {
+		panic("topo: ring needs at least three switches")
+	}
+	t := New()
+	sws := make([]NodeID, n)
+	for i := range sws {
+		sws[i] = t.AddSwitch(fmt.Sprintf("s%d", i))
+		for h := 0; h < hostsPerSwitch; h++ {
+			host := t.AddHost(fmt.Sprintf("h%d_%d", i, h))
+			t.AddLink(sws[i], host, capacity)
+		}
+	}
+	for i := range sws {
+		t.AddLink(sws[i], sws[(i+1)%n], capacity)
+	}
+	return t
+}
+
+// Star builds a hub switch with n spoke switches, each carrying
+// hostsPerSwitch hosts.
+func Star(n, hostsPerSwitch int, capacity float64) *Topology {
+	if n < 1 {
+		panic("topo: star needs at least one spoke")
+	}
+	t := New()
+	hub := t.AddSwitch("hub")
+	for i := 0; i < n; i++ {
+		sw := t.AddSwitch(fmt.Sprintf("s%d", i))
+		t.AddLink(hub, sw, capacity)
+		for h := 0; h < hostsPerSwitch; h++ {
+			host := t.AddHost(fmt.Sprintf("h%d_%d", i, h))
+			t.AddLink(sw, host, capacity)
+		}
+	}
+	return t
+}
+
+// Waxman builds a connected random topology of n switches using a
+// Waxman-style model: nodes are placed uniformly in the unit square and
+// each pair is linked with probability alpha*exp(-d/(beta*L)). A spanning
+// chain guarantees connectivity. The construction is deterministic for a
+// given seed.
+func Waxman(n int, alpha, beta float64, seed int64, capacity float64) *Topology {
+	if n < 1 {
+		panic("topo: waxman needs at least one switch")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t := New()
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	sws := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		xs[i], ys[i] = rng.Float64(), rng.Float64()
+		sws[i] = t.AddSwitch(fmt.Sprintf("s%d", i))
+	}
+	const maxDist = math.Sqrt2
+	linked := make(map[[2]int]bool)
+	link := func(i, j int) {
+		if i > j {
+			i, j = j, i
+		}
+		if i == j || linked[[2]int{i, j}] {
+			return
+		}
+		linked[[2]int{i, j}] = true
+		t.AddLink(sws[i], sws[j], capacity)
+	}
+	for i := 1; i < n; i++ {
+		link(rng.Intn(i), i) // spanning chain for connectivity
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := math.Hypot(xs[i]-xs[j], ys[i]-ys[j])
+			if rng.Float64() < alpha*math.Exp(-d/(beta*maxDist)) {
+				link(i, j)
+			}
+		}
+	}
+	return t
+}
+
+// TwoPath builds the Figure 3 topology: hosts h1 and h2 joined by two
+// disjoint switch paths — a three-link path of capacity wideCap per link on
+// the left, and a two-link path of capacity narrowCap per link on the right.
+// In the paper wideCap is 400 MB/s and narrowCap 100 MB/s.
+func TwoPath(wideCap, narrowCap float64) *Topology {
+	t := New()
+	h1 := t.AddHost("h1")
+	h2 := t.AddHost("h2")
+	// Left (wide) path: h1 - l1 - l2 - h2 (3 links).
+	l1 := t.AddSwitch("l1")
+	l2 := t.AddSwitch("l2")
+	t.AddLink(h1, l1, wideCap)
+	t.AddLink(l1, l2, wideCap)
+	t.AddLink(l2, h2, wideCap)
+	// Right (narrow) path: h1 - r1 - h2 (2 links).
+	r1 := t.AddSwitch("r1")
+	t.AddLink(h1, r1, narrowCap)
+	t.AddLink(r1, h2, narrowCap)
+	return t
+}
+
+// Example builds the Figure 2 topology: h1 - s1 - s2 - h2 with middlebox m1
+// attached to s1.
+func Example(capacity float64) *Topology {
+	t := New()
+	h1 := t.AddHost("h1")
+	h2 := t.AddHost("h2")
+	s1 := t.AddSwitch("s1")
+	s2 := t.AddSwitch("s2")
+	m1 := t.AddMiddlebox("m1")
+	t.AddLink(h1, s1, capacity)
+	t.AddLink(s1, s2, capacity)
+	t.AddLink(s2, h2, capacity)
+	t.AddLink(s1, m1, capacity)
+	return t
+}
+
+// Stanford builds a synthetic stand-in for the 16-switch Stanford campus
+// core used in the Fig. 4 expressiveness experiment: 2 backbone switches,
+// 14 zone switches each dual-homed to the backbones, and the requested
+// number of subnets spread round-robin across the zones with hostsPerSubnet
+// hosts each. Two middleboxes (mb0, mb1) hang off the backbone switches.
+func Stanford(subnets, hostsPerSubnet int, capacity float64) *Topology {
+	if subnets < 1 || hostsPerSubnet < 1 {
+		panic("topo: stanford needs at least one subnet and one host")
+	}
+	t := New()
+	bb := []NodeID{t.AddSwitch("bbra"), t.AddSwitch("bbrb")}
+	t.AddLink(bb[0], bb[1], capacity)
+	zones := make([]NodeID, 14)
+	for i := range zones {
+		zones[i] = t.AddSwitch(fmt.Sprintf("zone%d", i))
+		t.AddLink(zones[i], bb[0], capacity)
+		t.AddLink(zones[i], bb[1], capacity)
+	}
+	for s := 0; s < subnets; s++ {
+		zone := zones[s%len(zones)]
+		for h := 0; h < hostsPerSubnet; h++ {
+			host := t.AddHost(fmt.Sprintf("h%d_%d", s, h))
+			t.AddLink(zone, host, capacity)
+		}
+	}
+	m0 := t.AddMiddlebox("mb0")
+	m1 := t.AddMiddlebox("mb1")
+	t.AddLink(m0, bb[0], capacity)
+	t.AddLink(m1, bb[1], capacity)
+	return t
+}

@@ -1,0 +1,298 @@
+package verify
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"merlin/internal/policy"
+	"merlin/internal/pred"
+)
+
+func mustPolicy(t testing.TB, src string) *policy.Policy {
+	t.Helper()
+	p, err := policy.Parse(src, policy.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// The §4.1 example: a 100MB/s cap on all pair traffic refined into web
+// (logged, 50), ssh (25), and the rest (dpi, 25).
+const originalSrc = `
+[ x : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2) -> .* ],
+max(x, 100MB/s)
+`
+
+const refinedSrc = `
+[ x : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2 and tcp.dst = 80) -> .* log .*
+  y : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2 and tcp.dst = 22) -> .*
+  z : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2 and
+       !(tcp.dst = 22 or tcp.dst = 80)) -> .* dpi .* ],
+max(x, 50MB/s) and max(y, 25MB/s) and max(z, 25MB/s)
+`
+
+func TestPaperRefinementAccepted(t *testing.T) {
+	rep, err := CheckRefinement(mustPolicy(t, originalSrc), mustPolicy(t, refinedSrc), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("valid refinement rejected: %v", rep.Violations)
+	}
+	if rep.PredicateChecks == 0 || rep.PathChecks == 0 || rep.BandwidthChecks == 0 {
+		t.Fatalf("check counters not populated: %+v", rep)
+	}
+}
+
+func TestOverAllocationRejected(t *testing.T) {
+	over := strings.Replace(refinedSrc, "max(x, 50MB/s)", "max(x, 80MB/s)", 1)
+	rep, err := CheckRefinement(mustPolicy(t, originalSrc), mustPolicy(t, over), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("130MB/s of caps under a 100MB/s parent accepted")
+	}
+	if rep.Violations[0].Kind != "bandwidth" {
+		t.Fatalf("violation kind = %s", rep.Violations[0].Kind)
+	}
+}
+
+func TestUncappedChildRejected(t *testing.T) {
+	// Dropping z's cap makes the refined total unbounded.
+	uncapped := strings.Replace(refinedSrc, " and max(z, 25MB/s)", "", 1)
+	rep, err := CheckRefinement(mustPolicy(t, originalSrc), mustPolicy(t, uncapped), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("uncapped child under a capped parent accepted")
+	}
+}
+
+func TestPathWideningRejected(t *testing.T) {
+	// Original requires logging for web traffic; the refinement drops it.
+	orig := `
+[ x : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2) -> .* log .* ]
+`
+	ref := `
+[ x : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2 and tcp.dst = 80) -> .*
+  y : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2 and tcp.dst != 80) -> .* log .* ]
+`
+	rep, err := CheckRefinement(mustPolicy(t, orig), mustPolicy(t, ref), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("path widening accepted")
+	}
+	var pathViolation *Violation
+	for i := range rep.Violations {
+		if rep.Violations[i].Kind == "path" {
+			pathViolation = &rep.Violations[i]
+		}
+	}
+	if pathViolation == nil {
+		t.Fatalf("no path violation: %v", rep.Violations)
+	}
+	if pathViolation.Witness == nil {
+		t.Error("path violation lacks witness")
+	}
+	if pathViolation.Error() == "" {
+		t.Error("empty violation message")
+	}
+}
+
+func TestPathNarrowingAccepted(t *testing.T) {
+	// §4.1: adding a dpi waypoint to a logged path is a valid refinement.
+	orig := `[ x : tcp.dst = 80 -> .* log .* ]`
+	ref := `[ x : tcp.dst = 80 -> .* log .* dpi .* ]`
+	rep, err := CheckRefinement(mustPolicy(t, orig), mustPolicy(t, ref), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("valid path narrowing rejected: %v", rep.Violations)
+	}
+}
+
+func TestLossyPartitionRejected(t *testing.T) {
+	// The refinement forgets ssh traffic entirely.
+	lossy := `
+[ x : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2 and tcp.dst = 80) -> .* ],
+max(x, 50MB/s)
+`
+	rep, err := CheckRefinement(mustPolicy(t, originalSrc), mustPolicy(t, lossy), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("lossy partition accepted")
+	}
+	if rep.Violations[0].Kind != "coverage" {
+		t.Fatalf("violation kind = %s", rep.Violations[0].Kind)
+	}
+}
+
+func TestScopeEscapeRejected(t *testing.T) {
+	// The refinement classifies traffic outside the delegated pair.
+	escape := refinedSrc + `
+[ w : (ip.src = 9.9.9.9 and ip.dst = 8.8.8.8) -> .* ]
+`
+	rep, err := CheckRefinement(mustPolicy(t, originalSrc), mustPolicy(t, escape), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("scope escape accepted")
+	}
+}
+
+func TestGuaranteeInflationRejected(t *testing.T) {
+	orig := `[ x : tcp.dst = 80 -> .* ], min(x, 10MB/s)`
+	ref := `[ x : tcp.dst = 80 -> .* ], min(x, 20MB/s)`
+	rep, err := CheckRefinement(mustPolicy(t, orig), mustPolicy(t, ref), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("guarantee inflation accepted")
+	}
+}
+
+func TestMinimizeOptionAgrees(t *testing.T) {
+	for _, minimize := range []bool{false, true} {
+		rep, err := CheckRefinement(mustPolicy(t, originalSrc), mustPolicy(t, refinedSrc),
+			Options{Minimize: minimize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK() {
+			t.Fatalf("minimize=%v rejected valid refinement", minimize)
+		}
+	}
+}
+
+func TestDelegateProjectsScope(t *testing.T) {
+	pol := mustPolicy(t, `
+[ a : tcp.dst = 80 -> .* log .*
+  b : tcp.dst = 22 -> .* ],
+max(a, 10MB/s) and max(b, 5MB/s)
+`)
+	// Tenant scope: only traffic from 10.0.0.1.
+	scope := pred.Test{Field: "ip.src", Value: "10.0.0.1"}
+	sub, err := Delegate(pol, scope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Statements) != 2 {
+		t.Fatalf("statements = %d", len(sub.Statements))
+	}
+	// Delegated predicates are narrowed.
+	for _, s := range sub.Statements {
+		ok, err := pred.Implies(s.Predicate, scope)
+		if err != nil || !ok {
+			t.Fatalf("statement %s escapes scope", s.ID)
+		}
+	}
+	// A tenant refinement of the delegated policy verifies against the
+	// delegation (not against the root — a delegation deliberately
+	// narrows scope, so it is the new baseline for its subtree, §4).
+	refined := &policy.Policy{
+		Statements: []policy.Statement{
+			{ID: "a1", Predicate: pred.Conj(sub.Statements[0].Predicate,
+				pred.Test{Field: "ip.tos", Value: "0"}), Path: sub.Statements[0].Path},
+			{ID: "a2", Predicate: pred.Conj(sub.Statements[0].Predicate,
+				pred.Negate(pred.Test{Field: "ip.tos", Value: "0"})), Path: sub.Statements[0].Path},
+			sub.Statements[1],
+		},
+		Formula: policy.ConjFormula(
+			policy.Max{Expr: policy.BandExpr{IDs: []string{"a1"}}, Rate: 4 * 8e6},
+			policy.Max{Expr: policy.BandExpr{IDs: []string{"a2"}}, Rate: 6 * 8e6},
+			policy.Max{Expr: policy.BandExpr{IDs: []string{"b"}}, Rate: 5 * 8e6},
+		),
+	}
+	rep, err := CheckRefinement(sub, refined, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("valid tenant refinement rejected: %v", rep.Violations)
+	}
+}
+
+func TestDelegateDropsUnsatisfiable(t *testing.T) {
+	pol := mustPolicy(t, `
+[ a : tcp.dst = 80 -> .*
+  b : tcp.dst = 22 -> .* ],
+max(a + b, 10MB/s)
+`)
+	scope := pred.Test{Field: "tcp.dst", Value: "80"}
+	sub, err := Delegate(pol, scope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Statements) != 1 || sub.Statements[0].ID != "a" {
+		t.Fatalf("statements = %v", sub.Statements)
+	}
+	// The aggregate cap is rescaled to the surviving member.
+	maxes, _, err := policy.Terms(sub.Formula)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(maxes) != 1 || maxes[0].Rate != 5*8e6 {
+		t.Fatalf("maxes = %v", maxes)
+	}
+}
+
+// buildPartition generates the Fig. 9(a) workload: a parent statement
+// partitioned into n children by destination port.
+func buildPartition(t testing.TB, n int) (*policy.Policy, *policy.Policy) {
+	t.Helper()
+	orig := mustPolicy(t, `[ x : ip.proto = 6 -> .* ], max(x, 100MB/s)`)
+	var sb strings.Builder
+	sb.WriteString("[")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, " p%d : (ip.proto = 6 and tcp.dst = %d) -> .* ;", i, i+1)
+	}
+	rest := " rest : (ip.proto = 6"
+	for i := 0; i < n; i++ {
+		rest += fmt.Sprintf(" and tcp.dst != %d", i+1)
+	}
+	sb.WriteString(rest + ") -> .* ],\n")
+	terms := make([]string, 0, n+1)
+	share := 100.0 / float64(n+1)
+	for i := 0; i < n; i++ {
+		terms = append(terms, fmt.Sprintf("max(p%d, %fMB/s)", i, share))
+	}
+	terms = append(terms, fmt.Sprintf("max(rest, %fMB/s)", share))
+	sb.WriteString(strings.Join(terms, " and "))
+	return orig, mustPolicy(t, sb.String())
+}
+
+func TestLargePartitionVerifies(t *testing.T) {
+	orig, ref := buildPartition(t, 50)
+	rep, err := CheckRefinement(orig, ref, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("violations: %v", rep.Violations[:1])
+	}
+}
+
+func BenchmarkVerifyPartition(b *testing.B) {
+	for _, n := range []int{10, 50, 200} {
+		orig, ref := buildPartition(b, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := CheckRefinement(orig, ref, Options{})
+				if err != nil || !rep.OK() {
+					b.Fatalf("%v %v", err, rep.Violations)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,187 @@
+// Package zoo generates the synthetic stand-in for the Internet Topology
+// Zoo dataset used in Fig. 6. The real dataset (262 operator topologies in
+// GraphML) is not available offline, so this package deterministically
+// synthesizes 262 topologies whose switch-count distribution matches the
+// statistics the paper reports — mean ≈ 40 switches, standard deviation
+// ≈ 30, one 754-switch outlier — across the structural families operator
+// networks exhibit (rings, stars, trees, meshes, Waxman random graphs).
+// Fig. 6 plots compile time against switch count, which depends on graph
+// size and diameter rather than the identity of each network, so the
+// substitution preserves the experiment's shape.
+package zoo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"merlin/internal/topo"
+)
+
+// Count is the number of topologies in the synthetic zoo, matching the
+// dataset's 262.
+const Count = 262
+
+// Entry describes one zoo topology without materializing it.
+type Entry struct {
+	Index    int
+	Name     string
+	Family   string
+	Switches int
+}
+
+// families rotates deterministically across indices.
+var families = []string{"ring", "star", "tree", "mesh", "waxman"}
+
+// size draws the switch count for index i from a lognormal-ish
+// distribution calibrated to mean ≈ 40, sd ≈ 30, clamped to [4, 200],
+// with index 0 pinned to the 754-switch outlier the paper elides from
+// its figure.
+func size(i int) int {
+	if i == 0 {
+		return 754
+	}
+	rng := rand.New(rand.NewSource(int64(7919*i + 17)))
+	// Lognormal with mu, sigma chosen so E≈40, sd≈30:
+	// sigma² = ln(1 + (30/40)²) ≈ 0.454, mu = ln(40) - sigma²/2.
+	sigma := math.Sqrt(math.Log(1 + 0.75*0.75))
+	mu := math.Log(40) - sigma*sigma/2
+	n := int(math.Round(math.Exp(mu + sigma*rng.NormFloat64())))
+	if n < 4 {
+		n = 4
+	}
+	if n > 200 {
+		n = 200
+	}
+	return n
+}
+
+// Entries lists all topologies' metadata. Switches is the materialized
+// count (families that need structural rounding — complete trees, square
+// meshes — may deviate from the drawn size).
+func Entries() []Entry {
+	out := make([]Entry, Count)
+	for i := 0; i < Count; i++ {
+		out[i] = Entry{
+			Index:    i,
+			Name:     fmt.Sprintf("zoo-%03d", i),
+			Family:   families[i%len(families)],
+			Switches: switchesFor(i),
+		}
+	}
+	return out
+}
+
+// switchesFor computes the materialized switch count of topology i.
+func switchesFor(i int) int {
+	n := size(i)
+	switch families[i%len(families)] {
+	case "ring":
+		return max(3, n)
+	case "star":
+		return max(1, n-1) + 1
+	case "tree":
+		depth := 0
+		for (1<<(depth+1))-1 < n {
+			depth++
+		}
+		return (1 << (depth + 1)) - 1
+	default:
+		return n
+	}
+}
+
+// Generate materializes zoo topology i with hostsPerAttachment hosts
+// attached to a deterministic subset of switches (every fourth switch, at
+// least one), which keeps all-pairs compilation tractable while preserving
+// graph size as the driver of compile cost.
+func Generate(i, hostsPerAttachment int) *topo.Topology {
+	if i < 0 || i >= Count {
+		panic(fmt.Sprintf("zoo: index %d out of range", i))
+	}
+	if hostsPerAttachment < 1 {
+		hostsPerAttachment = 1
+	}
+	n := size(i)
+	family := families[i%len(families)]
+	var t *topo.Topology
+	switch family {
+	case "ring":
+		t = topo.Ring(max(3, n), 0, topo.Gbps)
+	case "star":
+		t = topo.Star(max(1, n-1), 0, topo.Gbps)
+	case "tree":
+		// Fanout 2 tree with ~n switches: depth = ceil(log2(n+1)) - 1.
+		depth := 0
+		for (1<<(depth+1))-1 < n {
+			depth++
+		}
+		t = topo.BalancedTree(2, depth, 0, topo.Gbps)
+	case "mesh":
+		t = mesh(n)
+	default: // waxman
+		t = topo.Waxman(n, 0.4, 0.25, int64(i), topo.Gbps)
+	}
+	attachHosts(t, hostsPerAttachment)
+	return t
+}
+
+// mesh builds a √n×√n grid.
+func mesh(n int) *topo.Topology {
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	t := topo.New()
+	ids := make([][]topo.NodeID, side)
+	count := 0
+	for r := 0; r < side && count < n; r++ {
+		ids[r] = make([]topo.NodeID, 0, side)
+		for c := 0; c < side && count < n; c++ {
+			sw := t.AddSwitch(fmt.Sprintf("s%d_%d", r, c))
+			ids[r] = append(ids[r], sw)
+			if c > 0 {
+				t.AddLink(ids[r][c-1], sw, topo.Gbps)
+			}
+			if r > 0 && c < len(ids[r-1]) {
+				t.AddLink(ids[r-1][c], sw, topo.Gbps)
+			}
+			count++
+		}
+	}
+	return t
+}
+
+// attachHosts puts hosts on every fourth switch (and always the first).
+func attachHosts(t *topo.Topology, perSwitch int) {
+	sws := t.Switches()
+	for idx, sw := range sws {
+		if idx%4 != 0 {
+			continue
+		}
+		for h := 0; h < perSwitch; h++ {
+			host := t.AddHost(fmt.Sprintf("zh%d_%d", idx, h))
+			t.AddLink(sw, host, topo.Gbps)
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Stats summarizes the synthetic distribution, for documentation and the
+// substitution-fidelity test.
+func Stats() (mean, sd float64, largest int) {
+	var sum, sum2 float64
+	n := 0
+	for i := 1; i < Count; i++ { // exclude the pinned outlier, as the paper's figure does
+		s := float64(size(i))
+		sum += s
+		sum2 += s * s
+		n++
+	}
+	mean = sum / float64(n)
+	sd = math.Sqrt(sum2/float64(n) - mean*mean)
+	return mean, sd, size(0)
+}

@@ -1,0 +1,80 @@
+package zoo
+
+import (
+	"testing"
+
+	"merlin/internal/topo"
+)
+
+func TestCountAndDeterminism(t *testing.T) {
+	es := Entries()
+	if len(es) != Count || Count != 262 {
+		t.Fatalf("entries = %d", len(es))
+	}
+	a := Generate(5, 1)
+	b := Generate(5, 1)
+	if a.NumNodes() != b.NumNodes() || a.NumLinks() != b.NumLinks() {
+		t.Fatal("generation not deterministic")
+	}
+}
+
+func TestDistributionMatchesPaper(t *testing.T) {
+	mean, sd, largest := Stats()
+	if mean < 30 || mean > 50 {
+		t.Errorf("mean = %.1f, want ~40", mean)
+	}
+	if sd < 20 || sd > 40 {
+		t.Errorf("sd = %.1f, want ~30", sd)
+	}
+	if largest != 754 {
+		t.Errorf("largest = %d, want the 754-switch outlier", largest)
+	}
+}
+
+func TestAllTopologiesConnectedWithHosts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full zoo sweep")
+	}
+	for i := 0; i < Count; i += 7 { // sample across families and sizes
+		tp := Generate(i, 1)
+		if !tp.Connected() {
+			t.Fatalf("zoo %d disconnected", i)
+		}
+		if len(tp.Hosts()) == 0 {
+			t.Fatalf("zoo %d has no hosts", i)
+		}
+		if got, want := len(tp.Switches()), Entries()[i].Switches; got < want-1 || got > want+1 {
+			t.Fatalf("zoo %d switches = %d, want ~%d", i, got, want)
+		}
+	}
+}
+
+func TestFamilies(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Entries()[:10] {
+		seen[e.Family] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("families = %v", seen)
+	}
+}
+
+func TestGenerateBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range index accepted")
+		}
+	}()
+	Generate(Count, 1)
+}
+
+func TestMeshShape(t *testing.T) {
+	tp := Generate(3, 1) // index 3 is the mesh family (0-based rotation)
+	if Entries()[3].Family != "mesh" {
+		t.Skip("family rotation changed")
+	}
+	if !tp.Connected() {
+		t.Fatal("mesh disconnected")
+	}
+	_ = topo.Gbps
+}

@@ -1,0 +1,113 @@
+// Package merlin is the public API of this Merlin implementation — a
+// reproduction of "Merlin: A Language for Provisioning Network Resources"
+// (Soulé et al., CoNEXT 2014). It compiles declarative network policies —
+// packet-classifying predicates, path regular expressions, and Presburger
+// bandwidth formulas — into device-level configuration: OpenFlow rules,
+// switch queue reservations, tc/iptables commands, Click middlebox
+// configurations, and end-host interpreter programs.
+//
+// Typical use:
+//
+//	t := merlin.FatTree(4, merlin.Gbps)
+//	pol, _ := merlin.ParsePolicy(src, t)
+//	res, _ := merlin.Compile(pol, t, merlin.Placement{"dpi": {"m1"}}, merlin.Options{})
+//	fmt.Println(res.Counts())
+//
+// Dynamic adaptation (§4 of the paper) is exposed through NewNegotiator,
+// Delegate, Propose, and Reallocate.
+package merlin
+
+import (
+	"merlin/internal/negotiate"
+	"merlin/internal/policy"
+	"merlin/internal/pred"
+	"merlin/internal/provision"
+	"merlin/internal/topo"
+	"merlin/internal/verify"
+)
+
+// Re-exported core types. The internal packages carry the implementation;
+// these aliases are the supported surface.
+type (
+	// Topology is the physical network model.
+	Topology = topo.Topology
+	// NodeID identifies a topology node.
+	NodeID = topo.NodeID
+	// Policy is a parsed Merlin policy.
+	Policy = policy.Policy
+	// Statement is one policy statement.
+	Statement = policy.Statement
+	// Alloc is a statement's localized bandwidth allocation.
+	Alloc = policy.Alloc
+	// Pred is a packet-classification predicate.
+	Pred = pred.Pred
+	// Negotiator is a node of the run-time negotiator tree.
+	Negotiator = negotiate.Negotiator
+)
+
+// Capacity units (bits per second).
+const (
+	Gbps = topo.Gbps
+	Mbps = topo.Mbps
+	MBps = topo.MBps
+)
+
+// Heuristic selects the §3.2 path-selection objective.
+type Heuristic = provision.Heuristic
+
+// Path-selection heuristics (Figure 3 of the paper).
+const (
+	WeightedShortestPath = provision.WeightedShortestPath
+	MinMaxRatio          = provision.MinMaxRatio
+	MinMaxReserved       = provision.MinMaxReserved
+)
+
+// Placement maps packet-processing function names to the locations able to
+// host them — the auxiliary compiler input of §3.2.
+type Placement map[string][]string
+
+// Topology constructors, re-exported from the topology substrate.
+var (
+	NewTopology  = topo.New
+	FatTree      = topo.FatTree
+	BalancedTree = topo.BalancedTree
+	Linear       = topo.Linear
+	Ring         = topo.Ring
+	Star         = topo.Star
+	Stanford     = topo.Stanford
+	TwoPath      = topo.TwoPath
+	Example      = topo.Example
+)
+
+// ParsePolicy parses policy source against a topology: the environment
+// exposes the set "hosts" bound to every host MAC, so policies can write
+// "foreach (s,d) in cross(hosts,hosts): ...".
+func ParsePolicy(src string, t *Topology) (*Policy, error) {
+	env := policy.Env{Sets: map[string][]string{}}
+	if t != nil {
+		env.Sets["hosts"] = t.Identities().MACs()
+	}
+	return policy.Parse(src, env)
+}
+
+// NewNegotiator creates a negotiator-tree root holding the global policy.
+func NewNegotiator(name string, pol *Policy) *Negotiator {
+	return negotiate.NewRoot(name, pol)
+}
+
+// CheckRefinement verifies that refined only restricts original (§4.2).
+func CheckRefinement(original, refined *Policy) error {
+	rep, err := verify.CheckRefinement(original, refined, verify.Options{})
+	if err != nil {
+		return err
+	}
+	return rep.Err()
+}
+
+// Delegate projects a policy onto a tenant scope (§5).
+func Delegate(pol *Policy, scope Pred) (*Policy, error) {
+	return verify.Delegate(pol, scope)
+}
+
+// MaxMinFairShare is the negotiators' fair-share allocation primitive.
+var MaxMinFairShare = negotiate.MaxMinFairShare
