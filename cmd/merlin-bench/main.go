@@ -9,21 +9,35 @@
 //	merlin-bench -run all
 //	merlin-bench -run fig4,hadoop,fig5,fig6,table7,fig8,fig9,fig10,ablation
 //	merlin-bench -run fig6 -zoo-stride 1    # all 262 zoo topologies
+//	merlin-bench -run table7 -json          # also write BENCH_results.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"merlin/internal/experiments"
 )
+
+// experimentResult is one experiment's machine-readable record: wall-clock
+// plus the printed rows, whose values carry the per-phase timings (e.g.
+// table7's lp_construct_ms / lp_solve_ms / rateless_ms split).
+type experimentResult struct {
+	Name   string            `json:"name"`
+	Title  string            `json:"title"`
+	WallMS float64           `json:"wall_ms"`
+	Rows   []experiments.Row `json:"rows,omitempty"`
+}
 
 func main() {
 	var (
 		run       = flag.String("run", "all", "comma-separated experiments: fig4, hadoop, fig5, fig6, table7, fig8, fig9, fig10, ablation")
 		zooStride = flag.Int("zoo-stride", 10, "sample every Nth Topology Zoo network for fig6 (1 = all 262)")
+		jsonOut   = flag.Bool("json", false, "write per-experiment wall-clock and phase timings to BENCH_results.json")
 	)
 	flag.Parse()
 	want := map[string]bool{}
@@ -32,126 +46,149 @@ func main() {
 	}
 	all := want["all"]
 	ran := 0
+	var results []experimentResult
+	printRows := func(rows []experiments.Row) []experiments.Row {
+		for _, r := range rows {
+			fmt.Println(r.Format())
+		}
+		return rows
+	}
 
-	section := func(name, title string, f func() error) {
+	section := func(name, title string, f func() ([]experiments.Row, error)) {
 		if !all && !want[name] {
 			return
 		}
 		ran++
 		fmt.Printf("\n=== %s — %s ===\n", name, title)
-		if err := f(); err != nil {
+		start := time.Now()
+		rows, err := f()
+		elapsed := time.Since(start)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "merlin-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-	}
-	printRows := func(rows []experiments.Row) {
-		for _, r := range rows {
-			fmt.Println(r.Format())
-		}
+		results = append(results, experimentResult{
+			Name:   name,
+			Title:  title,
+			WallMS: float64(elapsed.Microseconds()) / 1000,
+			Rows:   rows,
+		})
 	}
 
-	section("fig4", "expressiveness on the Stanford campus", func() error {
-		rows, err := experiments.Fig4()
-		printRows(rows)
-		return err
-	})
-	section("hadoop", "Hadoop sort under interference and guarantees (§6.2)", func() error {
-		rows, err := experiments.Hadoop()
-		printRows(rows)
-		return err
-	})
-	section("fig5", "Ring Paxos throughput without/with Merlin", func() error {
-		rows, err := experiments.Fig5()
-		printRows(rows)
-		return err
-	})
-	section("fig6", "Topology Zoo all-pairs compile times", func() error {
-		rows, err := experiments.Fig6(*zooStride)
-		printRows(rows)
-		return err
-	})
-	section("table7", "fat-tree provisioning cost split (Fig. 7 table)", func() error {
+	printed := func(f func() ([]experiments.Row, error)) func() ([]experiments.Row, error) {
+		return func() ([]experiments.Row, error) {
+			rows, err := f()
+			// Print whatever was produced even on error, so a failure
+			// partway through a sweep leaves the completed rows to debug
+			// from (matching the pre-JSON behavior).
+			return printRows(rows), err
+		}
+	}
+	section("fig4", "expressiveness on the Stanford campus", printed(experiments.Fig4))
+	section("hadoop", "Hadoop sort under interference and guarantees (§6.2)", printed(experiments.Hadoop))
+	section("fig5", "Ring Paxos throughput without/with Merlin", printed(experiments.Fig5))
+	section("fig6", "Topology Zoo all-pairs compile times", printed(func() ([]experiments.Row, error) {
+		return experiments.Fig6(*zooStride)
+	}))
+	section("table7", "fat-tree provisioning cost split (Fig. 7 table)", func() ([]experiments.Row, error) {
+		var rows []experiments.Row
 		for _, c := range experiments.Table7Cases() {
 			r, err := experiments.Table7(c)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			fmt.Println(r.Format())
+			rows = append(rows, r)
 		}
-		return nil
+		return rows, nil
 	})
-	section("fig8", "compile time vs traffic classes (four panels)", func() error {
+	section("fig8", "compile time vs traffic classes (four panels)", func() ([]experiments.Row, error) {
+		var rows []experiments.Row
 		for _, c := range experiments.Fig8Cases() {
-			rows, err := experiments.Fig8(c)
+			rs, err := experiments.Fig8(c)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			printRows(rows)
+			rows = append(rows, printRows(rs)...)
 		}
-		return nil
+		return rows, nil
 	})
-	section("fig9", "negotiator verification scaling", func() error {
-		rows, err := experiments.Fig9Predicates([]int{100, 500, 1000, 2000, 4000})
+	section("fig9", "negotiator verification scaling", func() ([]experiments.Row, error) {
+		var rows []experiments.Row
+		rs, err := experiments.Fig9Predicates([]int{100, 500, 1000, 2000, 4000})
 		if err != nil {
-			return err
+			return nil, err
 		}
-		printRows(rows)
-		rows, err = experiments.Fig9Regexes([]int{50, 100, 200, 400, 800, 1000})
+		rows = append(rows, printRows(rs)...)
+		rs, err = experiments.Fig9Regexes([]int{50, 100, 200, 400, 800, 1000})
 		if err != nil {
-			return err
+			return nil, err
 		}
-		printRows(rows)
-		rows, err = experiments.Fig9Allocations([]int{100, 500, 1000, 2000, 4000})
+		rows = append(rows, printRows(rs)...)
+		rs, err = experiments.Fig9Allocations([]int{100, 500, 1000, 2000, 4000})
 		if err != nil {
-			return err
+			return nil, err
 		}
-		printRows(rows)
-		return nil
+		return append(rows, printRows(rs)...), nil
 	})
-	section("fig10", "AIMD and MMFS dynamic adaptation", func() error {
+	section("fig10", "AIMD and MMFS dynamic adaptation", func() ([]experiments.Row, error) {
 		aimd, err := experiments.Fig10AIMD()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Println("-- AIMD --")
-		printRows(experiments.SeriesRows(aimd, 5))
+		rows := printRows(experiments.SeriesRows(aimd, 5))
 		mmfs, err := experiments.Fig10MMFS()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Println("-- MMFS --")
-		printRows(experiments.SeriesRows(mmfs, 2))
-		return nil
+		return append(rows, printRows(experiments.SeriesRows(mmfs, 2))...), nil
 	})
-	section("ablation", "design-choice ablations", func() error {
+	section("ablation", "design-choice ablations", func() ([]experiments.Row, error) {
 		fmt.Println("-- path-selection heuristics (Fig. 3) --")
 		rows, err := experiments.AblationHeuristics()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		printRows(rows)
 		fmt.Println("-- greedy vs MIP --")
-		rows, err = experiments.AblationGreedyVsMIP(8)
+		rs, err := experiments.AblationGreedyVsMIP(8)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		printRows(rows)
+		rows = append(rows, printRows(rs)...)
 		fmt.Println("-- DFA minimization in verification --")
-		rows, err = experiments.AblationMinimization([]int{100, 400})
+		rs, err = experiments.AblationMinimization([]int{100, 400})
 		if err != nil {
-			return err
+			return nil, err
 		}
-		printRows(rows)
+		rows = append(rows, printRows(rs)...)
 		fmt.Println("-- localization splits (§3.1) --")
-		rows, err = experiments.AblationLocalization()
+		rs, err = experiments.AblationLocalization()
 		if err != nil {
-			return err
+			return nil, err
 		}
-		printRows(rows)
-		return nil
+		return append(rows, printRows(rs)...), nil
 	})
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "merlin-bench: nothing selected by -run %q\n", *run)
 		os.Exit(2)
+	}
+	if *jsonOut {
+		payload := struct {
+			GeneratedAt time.Time          `json:"generated_at"`
+			Experiments []experimentResult `json:"experiments"`
+		}{GeneratedAt: time.Now().UTC(), Experiments: results}
+		data, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "merlin-bench: marshaling results: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile("BENCH_results.json", append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "merlin-bench: writing BENCH_results.json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote BENCH_results.json (%d experiments)\n", len(results))
 	}
 }

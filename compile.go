@@ -2,7 +2,10 @@ package merlin
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"merlin/internal/codegen"
@@ -36,11 +39,54 @@ type Options struct {
 	// allocator instead of the exact MIP — the scalable approximation
 	// the ablation benches compare against.
 	Greedy bool
+	// Workers bounds the worker pool the compiler fans per-statement
+	// product-graph builds and per-destination sink trees out over.
+	// Zero means runtime.NumCPU(); 1 forces the sequential path. Output
+	// is identical for every pool size.
+	Workers int
+}
+
+// parallelDo runs f(0..n-1) over a bounded worker pool. Each index is
+// processed exactly once; f must only write to per-index state.
+func parallelDo(n, workers int, f func(i int)) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
 }
 
 // Timing breaks down where compilation time went — the Table 7 columns.
 type Timing struct {
-	Preprocess  time.Duration
+	Preprocess time.Duration
+	// GraphBuild is the wall-clock of the whole per-statement phase-1
+	// region: path-expression resolution, endpoint derivation, and the
+	// (parallel) anchored product-graph builds. Earlier versions counted
+	// only the summed graph-build time, so it is nonzero even for
+	// policies with no guarantees.
 	GraphBuild  time.Duration
 	LPConstruct time.Duration
 	LPSolve     time.Duration
@@ -116,6 +162,7 @@ func Compile(pol *Policy, t *Topology, place Placement, opts Options) (*Result, 
 	res.Timing.Preprocess = time.Since(start)
 
 	ids := t.Identities()
+	hosts := t.Hosts()
 	alpha := logical.Alphabet(t)
 	alloc := func(id string) Alloc {
 		if a, ok := allocs[id]; ok {
@@ -124,46 +171,77 @@ func Compile(pol *Policy, t *Topology, place Placement, opts Options) (*Result, 
 		return policy.Unconstrained
 	}
 
-	// Phase 1: build per-statement artifacts.
+	// Phase 1: build per-statement artifacts. Endpoint derivation and the
+	// anchored product-graph builds are independent per statement, so they
+	// fan out over a bounded worker pool; results merge in statement order
+	// so the output is identical for every pool size. Path expressions are
+	// resolved (and their symbols interned into the shared alphabet) up
+	// front because interning mutates the alphabet.
 	type beWork struct {
 		stmt     policy.Statement
 		expr     regex.Expr
+		key      string
 		srcs     []NodeID
 		dsts     []NodeID
 		classify codegen.Classify
 		priority int
 	}
+	type stmtPrep struct {
+		expr       regex.Expr
+		srcs, dsts []NodeID
+		guaranteed bool
+		graph      *logical.Graph
+		err        error
+	}
 	var (
-		requests  []provision.Request
-		reqStmt   = map[string]int{} // request ID -> statement priority
-		bestEff   []beWork
-		graphTime time.Duration
+		requests []provision.Request
+		reqStmt  = map[string]int{} // request ID -> statement priority
+		reqPrep  []int              // request order -> statement index
+		bestEff  []beWork
 	)
+	gs := time.Now()
 	n := len(work.Statements)
+	prep := make([]stmtPrep, n)
 	for idx, s := range work.Statements {
-		priority := n - idx
 		expr, err := resolveExpr(s.Path, place, ids)
 		if err != nil {
 			return nil, fmt.Errorf("merlin: statement %s: %w", s.ID, err)
 		}
-		srcs, dsts, err := endpoints(s.Predicate, t, ids)
-		if err != nil {
-			return nil, fmt.Errorf("merlin: statement %s: %w", s.ID, err)
+		for _, sym := range regex.Symbols(expr) {
+			alpha.Intern(sym)
 		}
-		a := alloc(s.ID)
-		if a.Min > 0 {
-			if len(srcs) != 1 || len(dsts) != 1 {
-				return nil, fmt.Errorf("merlin: statement %s: bandwidth guarantees need a unique source and destination", s.ID)
-			}
-			gs := time.Now()
-			g, err := logical.BuildAnchored(t, expr, alpha,
-				t.Node(srcs[0]).Name, t.Node(dsts[0]).Name)
-			if err != nil {
-				return nil, err
-			}
-			graphTime += time.Since(gs)
-			requests = append(requests, provision.Request{ID: s.ID, Graph: g, MinRate: a.Min})
+		prep[idx].expr = expr
+	}
+	parallelDo(n, opts.Workers, func(idx int) {
+		s := work.Statements[idx]
+		p := &prep[idx]
+		srcs, dsts, err := endpoints(s.Predicate, t, ids, hosts)
+		if err != nil {
+			p.err = fmt.Errorf("merlin: statement %s: %w", s.ID, err)
+			return
+		}
+		p.srcs, p.dsts = srcs, dsts
+		if alloc(s.ID).Min <= 0 {
+			return
+		}
+		p.guaranteed = true
+		if len(srcs) != 1 || len(dsts) != 1 {
+			p.err = fmt.Errorf("merlin: statement %s: bandwidth guarantees need a unique source and destination", s.ID)
+			return
+		}
+		p.graph, p.err = logical.BuildAnchored(t, p.expr, alpha,
+			t.Node(srcs[0]).Name, t.Node(dsts[0]).Name)
+	})
+	for idx, s := range work.Statements {
+		p := &prep[idx]
+		if p.err != nil {
+			return nil, p.err
+		}
+		priority := n - idx
+		if p.guaranteed {
+			requests = append(requests, provision.Request{ID: s.ID, Graph: p.graph, MinRate: alloc(s.ID).Min})
 			reqStmt[s.ID] = priority
+			reqPrep = append(reqPrep, idx)
 			continue
 		}
 		classify := codegen.ByPredicate
@@ -171,11 +249,11 @@ func Compile(pol *Policy, t *Topology, place Placement, opts Options) (*Result, 
 			classify = codegen.ByDestination
 		}
 		bestEff = append(bestEff, beWork{
-			stmt: s, expr: expr, srcs: srcs, dsts: dsts,
+			stmt: s, expr: p.expr, key: regex.Key(p.expr), srcs: p.srcs, dsts: p.dsts,
 			classify: classify, priority: priority,
 		})
 	}
-	res.Timing.GraphBuild = graphTime
+	res.Timing.GraphBuild = time.Since(gs)
 
 	var plans []codegen.Plan
 
@@ -194,10 +272,10 @@ func Compile(pol *Policy, t *Topology, place Placement, opts Options) (*Result, 
 		}
 		res.Timing.LPConstruct = sol.ConstructTime
 		res.Timing.LPSolve = sol.SolveTime
-		for _, r := range requests {
+		for ri, r := range requests {
 			steps := sol.Paths[r.ID]
 			stmt, _ := work.Statement(r.ID)
-			srcs, dsts, _ := endpoints(stmt.Predicate, t, ids)
+			srcs, dsts := prep[reqPrep[ri]].srcs, prep[reqPrep[ri]].dsts
 			plans = append(plans, codegen.Plan{
 				ID: r.ID, Predicate: stmt.Predicate, Priority: reqStmt[r.ID],
 				Alloc: alloc(r.ID), Classify: codegen.ByPredicate,
@@ -211,32 +289,75 @@ func Compile(pol *Policy, t *Topology, place Placement, opts Options) (*Result, 
 		}
 	}
 
-	// Phase 3: best-effort sink trees (§3.3).
+	// Phase 3: best-effort sink trees (§3.3). Product graphs are memoized
+	// per distinct path expression and sink trees per (expression,
+	// destination) pair; both build in parallel over the worker pool.
+	// Plan assembly stays sequential in statement order, so the generated
+	// configuration is byte-identical to the sequential compiler's.
 	rs := time.Now()
-	graphs := map[string]*logical.Graph{}
-	trees := map[string]*sinktree.Tree{}
+	var (
+		keyOrder []string
+		keyExpr  []regex.Expr
+		keyIdx   = map[string]int{}
+	)
 	for _, w := range bestEff {
-		key := w.expr.String()
-		g, ok := graphs[key]
-		if !ok {
-			var err error
-			g, err = logical.BuildMinimized(t, w.expr, alpha)
-			if err != nil {
-				return nil, err
-			}
-			graphs[key] = g
+		if _, ok := keyIdx[w.key]; !ok {
+			keyIdx[w.key] = len(keyOrder)
+			keyOrder = append(keyOrder, w.key)
+			keyExpr = append(keyExpr, w.expr)
 		}
+	}
+	graphs := make([]*logical.Graph, len(keyOrder))
+	graphErrs := make([]error, len(keyOrder))
+	keyHasTags := make([]bool, len(keyOrder))
+	for i, e := range keyExpr {
+		keyHasTags[i] = regex.HasTags(e)
+	}
+	parallelDo(len(keyOrder), opts.Workers, func(i int) {
+		graphs[i], graphErrs[i] = logical.BuildMinimized(t, keyExpr[i], alpha)
+	})
+	// First-seen key order is statement order, so reporting the first
+	// failed key matches the sequential compiler's error.
+	for _, err := range graphErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	type treeJob struct {
+		graph  int // index into graphs
+		dst    NodeID
+		stmtID string // first statement needing the tree, for errors
+	}
+	// Pair keys pack (expression index, destination) into one integer.
+	pairKey := func(key int, dst NodeID) int64 { return int64(key)<<32 | int64(uint32(dst)) }
+	var (
+		jobs    []treeJob
+		pairIdx = map[int64]int{}
+	)
+	for _, w := range bestEff {
+		ki := keyIdx[w.key]
 		for _, dst := range w.dsts {
-			tkey := fmt.Sprintf("%s→%d", key, dst)
-			tree, ok := trees[tkey]
-			if !ok {
-				var err error
-				tree, err = sinktree.TreeTo(g, dst)
-				if err != nil {
-					return nil, fmt.Errorf("merlin: statement %s: %w", w.stmt.ID, err)
-				}
-				trees[tkey] = tree
+			tkey := pairKey(ki, dst)
+			if _, ok := pairIdx[tkey]; !ok {
+				pairIdx[tkey] = len(jobs)
+				jobs = append(jobs, treeJob{graph: ki, dst: dst, stmtID: w.stmt.ID})
 			}
+		}
+	}
+	trees := make([]*sinktree.Tree, len(jobs))
+	treeErrs := make([]error, len(jobs))
+	parallelDo(len(jobs), opts.Workers, func(i int) {
+		trees[i], treeErrs[i] = sinktree.TreeTo(graphs[jobs[i].graph], jobs[i].dst)
+	})
+	for i, err := range treeErrs {
+		if err != nil {
+			return nil, fmt.Errorf("merlin: statement %s: %w", jobs[i].stmtID, err)
+		}
+	}
+	for _, w := range bestEff {
+		ki := keyIdx[w.key]
+		for _, dst := range w.dsts {
+			tree := trees[pairIdx[pairKey(ki, dst)]]
 			for _, src := range w.srcs {
 				if src == dst {
 					continue
@@ -246,6 +367,11 @@ func Compile(pol *Policy, t *Topology, place Placement, opts Options) (*Result, 
 					Alloc: alloc(w.stmt.ID), Classify: w.classify,
 					SrcHost: src, DstHost: dst, Tree: tree,
 				})
+				// Tag-free expressions cannot yield placements; skip the
+				// per-pair path decode entirely.
+				if !keyHasTags[ki] {
+					continue
+				}
 				if steps := tree.PathFrom(src); steps != nil {
 					for _, pl := range logical.PlacementsOf(steps) {
 						res.Placements[w.stmt.ID] = append(res.Placements[w.stmt.ID],
@@ -264,21 +390,21 @@ func Compile(pol *Policy, t *Topology, place Placement, opts Options) (*Result, 
 		return nil, err
 	}
 	res.Output = out
-	res.buildPrograms(t, work, allocs, ids)
+	res.buildPrograms(t, work, allocs, ids, hosts)
 	res.Timing.Codegen = time.Since(cs)
 	return res, nil
 }
 
 // buildPrograms emits end-host interpreter programs: rate limits for caps
 // and drops for payload-matching filters iptables cannot express.
-func (r *Result) buildPrograms(t *Topology, pol *Policy, allocs map[string]Alloc, ids *topo.IdentityTable) {
+func (r *Result) buildPrograms(t *Topology, pol *Policy, allocs map[string]Alloc, ids *topo.IdentityTable, hosts []NodeID) {
 	for _, s := range pol.Statements {
 		a, ok := allocs[s.ID]
-		if !ok || a.Max == 0 || a.Max != a.Max { // no alloc or NaN guard
+		if !ok || a.Max == 0 || math.IsNaN(a.Max) {
 			continue
 		}
-		if a.Max > 0 && !isInf(a.Max) {
-			srcs, _, err := endpoints(s.Predicate, t, ids)
+		if a.Max > 0 && !math.IsInf(a.Max, 1) {
+			srcs, _, err := endpoints(s.Predicate, t, ids, hosts)
 			if err != nil {
 				continue
 			}
@@ -296,35 +422,55 @@ func (r *Result) buildPrograms(t *Topology, pol *Policy, allocs map[string]Alloc
 	}
 }
 
-func isInf(v float64) bool { return v > 1e300 }
-
 // resolveExpr substitutes function placements into the path expression and
 // rewrites host-identity symbols (MACs, IPs) into topology node names.
 func resolveExpr(e regex.Expr, place Placement, ids *topo.IdentityTable) (regex.Expr, error) {
 	if len(place) > 0 {
 		e = regex.Substitute(e, place)
 	}
-	var rewrite func(regex.Expr) regex.Expr
-	rewrite = func(e regex.Expr) regex.Expr {
+	// The rewrite reports whether anything changed so untouched subtrees
+	// (the common case: host identities appear in predicates, not paths)
+	// are returned as-is instead of reallocated.
+	var rewrite func(regex.Expr) (regex.Expr, bool)
+	rewrite = func(e regex.Expr) (regex.Expr, bool) {
 		switch x := e.(type) {
 		case regex.Sym:
 			if node, ok := ids.Resolve(x.Name); ok {
-				return regex.Sym{Name: nodeName(ids, node, x.Name)}
+				if name := nodeName(ids, node, x.Name); name != x.Name {
+					return regex.Sym{Name: name}, true
+				}
 			}
-			return x
+			return x, false
 		case regex.Concat:
-			return regex.Concat{L: rewrite(x.L), R: rewrite(x.R)}
+			l, cl := rewrite(x.L)
+			r, cr := rewrite(x.R)
+			if cl || cr {
+				return regex.Concat{L: l, R: r}, true
+			}
+			return x, false
 		case regex.Alt:
-			return regex.Alt{L: rewrite(x.L), R: rewrite(x.R)}
+			l, cl := rewrite(x.L)
+			r, cr := rewrite(x.R)
+			if cl || cr {
+				return regex.Alt{L: l, R: r}, true
+			}
+			return x, false
 		case regex.Star:
-			return regex.Star{X: rewrite(x.X)}
+			if sub, changed := rewrite(x.X); changed {
+				return regex.Star{X: sub}, true
+			}
+			return x, false
 		case regex.Not:
-			return regex.Not{X: rewrite(x.X)}
+			if sub, changed := rewrite(x.X); changed {
+				return regex.Not{X: sub}, true
+			}
+			return x, false
 		default:
-			return e
+			return e, false
 		}
 	}
-	return rewrite(e), nil
+	out, _ := rewrite(e)
+	return out, nil
 }
 
 func nodeName(ids *topo.IdentityTable, node topo.NodeID, fallback string) string {
@@ -336,71 +482,80 @@ func nodeName(ids *topo.IdentityTable, node topo.NodeID, fallback string) string
 
 // endpoints derives the source and destination host sets a predicate pins
 // down. Cubes lacking a source (destination) atom widen the set to all
-// hosts.
-func endpoints(p pred.Pred, t *Topology, ids *topo.IdentityTable) (srcs, dsts []NodeID, err error) {
+// hosts. hosts is the topology's host list, computed once per compile and
+// shared (callers must not mutate returned slices, which may alias it).
+func endpoints(p pred.Pred, t *Topology, ids *topo.IdentityTable, hosts []NodeID) (srcs, dsts []NodeID, err error) {
 	cubes, err := pred.PositiveCubes(p)
 	if err != nil {
 		// Expansion can blow up on heavily-negated predicates (the
 		// totality default). Such predicates pin no endpoints anyway.
-		return t.Hosts(), t.Hosts(), nil
+		return hosts, hosts, nil
 	}
-	srcSet := map[NodeID]bool{}
-	dstSet := map[NodeID]bool{}
+	var srcPin, dstPin []NodeID // small: typically one node each
 	srcAll, dstAll := false, false
+	appendPin := func(pins []NodeID, n NodeID) []NodeID {
+		for _, p := range pins {
+			if p == n {
+				return pins
+			}
+		}
+		return append(pins, n)
+	}
 	for _, cube := range cubes {
-		var cubeSrc, cubeDst *NodeID
+		cubeSrc, cubeDst := NodeID(-1), NodeID(-1)
 		for _, test := range cube {
 			switch test.Field {
 			case "eth.src", "ip.src":
 				if n, ok := ids.Resolve(test.Value); ok {
-					v := n
-					cubeSrc = &v
+					cubeSrc = n
 				}
 			case "eth.dst", "ip.dst":
 				if n, ok := ids.Resolve(test.Value); ok {
-					v := n
-					cubeDst = &v
+					cubeDst = n
 				}
 			}
 		}
-		if cubeSrc != nil {
-			srcSet[*cubeSrc] = true
+		if cubeSrc >= 0 {
+			srcPin = appendPin(srcPin, cubeSrc)
 		} else {
 			srcAll = true
 		}
-		if cubeDst != nil {
-			dstSet[*cubeDst] = true
+		if cubeDst >= 0 {
+			dstPin = appendPin(dstPin, cubeDst)
 		} else {
 			dstAll = true
 		}
 	}
-	collect := func(set map[NodeID]bool, all bool) []NodeID {
-		if all || len(set) == 0 {
-			return t.Hosts()
+	collect := func(pins []NodeID, all bool) []NodeID {
+		if all || len(pins) == 0 {
+			return hosts
 		}
-		var out []NodeID
-		for _, h := range t.Hosts() {
-			if set[h] {
-				out = append(out, h)
+		// Output in host order, matching the pinned set.
+		out := make([]NodeID, 0, len(pins))
+		for _, h := range hosts {
+			for _, p := range pins {
+				if p == h {
+					out = append(out, h)
+					break
+				}
 			}
 		}
 		return out
 	}
-	return collect(srcSet, srcAll), collect(dstSet, dstAll), nil
+	return collect(srcPin, srcAll), collect(dstPin, dstAll), nil
 }
 
 // pureConnectivity reports whether the predicate only constrains the
 // source and destination identities, enabling the compact ByDestination
 // classifier.
 func pureConnectivity(p pred.Pred) bool {
-	for _, f := range pred.Fields(p) {
+	return pred.OnlyFields(p, func(f pred.Field) bool {
 		switch f {
 		case "eth.src", "eth.dst", "ip.src", "ip.dst":
-		default:
-			return false
+			return true
 		}
-	}
-	return true
+		return false
+	})
 }
 
 func stepNames(t *Topology, steps []logical.Step) []string {

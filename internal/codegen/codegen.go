@@ -118,12 +118,22 @@ type generator struct {
 	// bound dedups forwarding rules: (switch, vlan, inPort) → rule index.
 	bound map[ruleKey]int
 	// classBound dedups classification rules.
-	classBound map[string]bool
+	classBound map[classKey]bool
 	// queueBound dedups queue configs and allocates queue ids per port.
-	queueBound map[string]bool
+	queueBound map[queueKey]bool
 	queueNext  map[topo.LinkID]int
 	nextTag    int
+	// scratch buffers reused across plans
+	locBuf  []topo.NodeID
+	stepBuf []logical.Step
 }
+
+// byPriority sorts plans by descending priority, stably.
+type byPriority []Plan
+
+func (p byPriority) Len() int           { return len(p) }
+func (p byPriority) Less(i, j int) bool { return p[i].Priority > p[j].Priority }
+func (p byPriority) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
 
 type ruleKey struct {
 	sw   topo.NodeID
@@ -131,22 +141,36 @@ type ruleKey struct {
 	in   topo.LinkID
 }
 
+// classKey identifies a classification rule: what selects the traffic
+// (destination MAC or rendered cube predicate) at a (switch, tag).
+type classKey struct {
+	sw   topo.NodeID
+	vlan int
+	sel  string
+}
+
+type queueKey struct {
+	sw     topo.NodeID
+	port   topo.LinkID
+	minBps float64
+}
+
 // Generate emits configuration for all plans.
 func Generate(t *topo.Topology, plans []Plan) (*Output, error) {
 	g := &generator{
 		t:          t,
 		ids:        t.Identities(),
-		out:        &Output{Tags: map[string][]int{}},
+		out:        &Output{Tags: map[string][]int{}, Rules: make([]openflow.Rule, 0, 2*len(plans))},
 		bound:      map[ruleKey]int{},
-		classBound: map[string]bool{},
-		queueBound: map[string]bool{},
+		classBound: map[classKey]bool{},
+		queueBound: map[queueKey]bool{},
 		queueNext:  map[topo.LinkID]int{},
 		nextTag:    2, // VLAN IDs 0/1 are reserved on real switches
 	}
 	// Stable order: guaranteed paths first (their classification has
 	// higher effective priority anyway), then by ID.
 	ordered := append([]Plan(nil), plans...)
-	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Priority > ordered[j].Priority })
+	sort.Stable(byPriority(ordered))
 	// Tree tag sharing: plans pointing at the same sink tree share tags.
 	treeTags := map[*sinktree.Tree]int{}
 	for _, p := range ordered {
@@ -165,13 +189,16 @@ func Generate(t *topo.Topology, plans []Plan) (*Output, error) {
 			} else {
 				g.out.Tags[p.ID] = append(g.out.Tags[p.ID], tag)
 			}
-			steps := p.Tree.PathFrom(p.SrcHost)
+			steps := p.Tree.PathFromBuf(g.stepBuf, p.SrcHost)
 			if steps == nil {
 				return nil, fmt.Errorf("codegen: statement %s: %s cannot reach %s under the path constraint",
 					p.ID, t.Node(p.SrcHost).Name, t.Node(p.DstHost).Name)
 			}
 			if err := g.emitPath(p, steps, tag, false); err != nil {
 				return nil, fmt.Errorf("codegen: statement %s: %w", p.ID, err)
+			}
+			if cap(steps) > cap(g.stepBuf) {
+				g.stepBuf = steps[:0]
 			}
 		default:
 			return nil, fmt.Errorf("codegen: statement %s has neither path nor tree", p.ID)
@@ -222,7 +249,8 @@ func (g *generator) emitDrop(p Plan) {
 // classification at the ingress switch, queue configurations for
 // guarantees, and Click configurations for middlebox function placements.
 func (g *generator) emitPath(p Plan, steps []logical.Step, tag int, guaranteed bool) error {
-	locs := logical.Locations(steps)
+	locs := logical.AppendLocations(g.locBuf, steps)
+	g.locBuf = locs
 	if len(locs) < 2 {
 		return fmt.Errorf("degenerate path")
 	}
@@ -338,7 +366,7 @@ func (g *generator) emitClassification(p Plan, sw topo.NodeID, in topo.LinkID, t
 	switch p.Classify {
 	case ByDestination:
 		ident, _ := g.ids.Of(p.DstHost)
-		key := fmt.Sprintf("dst/%d/%d/%s", sw, tag, ident.MAC)
+		key := classKey{sw: sw, vlan: tag, sel: ident.MAC}
 		if g.classBound[key] {
 			return
 		}
@@ -360,7 +388,7 @@ func (g *generator) emitClassification(p Plan, sw topo.NodeID, in topo.LinkID, t
 			if exact {
 				cubePred = p.Predicate
 			}
-			key := fmt.Sprintf("pred/%d/%d/%s", sw, tag, pred.Format(cubePred))
+			key := classKey{sw: sw, vlan: tag, sel: "p/" + pred.Format(cubePred)}
 			if g.classBound[key] {
 				continue
 			}
@@ -386,7 +414,7 @@ func cubeToPred(cube []pred.Test) pred.Pred {
 // queueFor allocates (or reuses) a QoS queue on the given port with the
 // statement's guaranteed rate.
 func (g *generator) queueFor(sw topo.NodeID, port topo.LinkID, minBps float64) int {
-	key := fmt.Sprintf("%d/%d/%g", sw, port, minBps)
+	key := queueKey{sw: sw, port: port, minBps: minBps}
 	if g.queueBound[key] {
 		// Reuse: find the existing config.
 		for _, q := range g.out.Queues {

@@ -94,14 +94,8 @@ func Build(t *topo.Topology, nfa *regex.EpsFree) *Graph {
 	g.NumVerts = n*nfa.States + 2
 	g.Source = n * nfa.States
 	g.Sink = g.Source + 1
-	g.Out = make([][]int32, g.NumVerts)
-	g.In = make([][]int32, g.NumVerts)
-
 	addEdge := func(from, to int, entering topo.NodeID, link topo.LinkID, tag string) {
-		id := len(g.Edges)
-		g.Edges = append(g.Edges, Edge{ID: id, From: from, To: to, Entering: entering, Link: link, Tag: tag})
-		g.Out[from] = append(g.Out[from], int32(id))
-		g.In[to] = append(g.In[to], int32(id))
+		g.Edges = append(g.Edges, Edge{ID: len(g.Edges), From: from, To: to, Entering: entering, Link: link, Tag: tag})
 	}
 
 	// Source edges: si -> (v, q') for every transition q0 --v--> q'.
@@ -136,6 +130,36 @@ func Build(t *topo.Topology, nfa *regex.EpsFree) *Graph {
 				addEdge(from, g.Sink, -1, -1, "")
 			}
 		}
+	}
+	// Derive the adjacency lists from the edge list in one shot: count
+	// degrees, carve both flat backing arrays, and fill in edge order
+	// (identical to appending during construction, without the per-vertex
+	// slice growth that used to dominate the compiler's allocations).
+	total := len(g.Edges)
+	g.Out = make([][]int32, g.NumVerts)
+	g.In = make([][]int32, g.NumVerts)
+	outDeg := make([]int32, g.NumVerts)
+	inDeg := make([]int32, g.NumVerts)
+	for i := range g.Edges {
+		outDeg[g.Edges[i].From]++
+		inDeg[g.Edges[i].To]++
+	}
+	outFlat := make([]int32, total)
+	inFlat := make([]int32, total)
+	off := int32(0)
+	for v := 0; v < g.NumVerts; v++ {
+		g.Out[v] = outFlat[off : off : off+outDeg[v]]
+		off += outDeg[v]
+	}
+	off = 0
+	for v := 0; v < g.NumVerts; v++ {
+		g.In[v] = inFlat[off : off : off+inDeg[v]]
+		off += inDeg[v]
+	}
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		g.Out[e.From] = append(g.Out[e.From], int32(i))
+		g.In[e.To] = append(g.In[e.To], int32(i))
 	}
 	return g
 }
@@ -256,7 +280,13 @@ func (g *Graph) ExtractPath(chosen func(edgeID int) bool) ([]Step, error) {
 // Locations projects steps to their locations, collapsing consecutive
 // duplicates (several functions at one location visit it once physically).
 func Locations(steps []Step) []topo.NodeID {
-	var out []topo.NodeID
+	return AppendLocations(nil, steps)
+}
+
+// AppendLocations is Locations appending into dst, for callers reusing a
+// scratch buffer across many paths.
+func AppendLocations(dst []topo.NodeID, steps []Step) []topo.NodeID {
+	out := dst[:0]
 	for _, s := range steps {
 		if len(out) == 0 || out[len(out)-1] != s.Loc {
 			out = append(out, s.Loc)

@@ -2,6 +2,7 @@ package logical
 
 import (
 	"fmt"
+	"sort"
 
 	"merlin/internal/regex"
 	"merlin/internal/topo"
@@ -124,17 +125,25 @@ func RecoverTags(ef *regex.EpsFree, t *topo.Topology, steps []Step) ([]Step, err
 		tag   string
 	}
 	parents := make(map[parentKey]parentVal)
-	frontier := map[int]bool{ef.Start: true}
+	// Frontiers iterate in ascending state order: map iteration order
+	// would otherwise pick different (equally valid) parents run to run,
+	// making recovered placements nondeterministic.
+	inFrontier := make([]bool, ef.States)
+	inFrontier[ef.Start] = true
+	frontier := []int{ef.Start}
 	for i := 0; i < n; i++ {
 		sym := int(steps[i].Loc)
-		next := map[int]bool{}
-		for q := range frontier {
+		inNext := make([]bool, ef.States)
+		var next []int
+		sort.Ints(frontier)
+		for _, q := range frontier {
 			for _, tr := range ef.Out[q] {
 				if !tr.Set.Has(sym) {
 					continue
 				}
-				if !next[tr.To] {
-					next[tr.To] = true
+				if !inNext[tr.To] {
+					inNext[tr.To] = true
+					next = append(next, tr.To)
 					parents[parentKey{i + 1, tr.To}] = parentVal{state: q, tag: tr.Tag}
 				} else if tr.Tag != "" {
 					// Prefer tagged transitions so placements are not
@@ -151,7 +160,8 @@ func RecoverTags(ef *regex.EpsFree, t *topo.Topology, steps []Step) ([]Step, err
 		frontier = next
 	}
 	final := -1
-	for q := range frontier {
+	sort.Ints(frontier)
+	for _, q := range frontier {
 		if ef.Accept[q] {
 			final = q
 			break

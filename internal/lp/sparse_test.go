@@ -1,0 +1,230 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// buildRandomLP generates a random feasible LP around a known point, the
+// same construction as TestRandomFeasibleLPs.
+func buildRandomLP(r *rand.Rand) (*Model, []float64) {
+	n := 2 + r.Intn(6)
+	m := NewModel()
+	point := make([]float64, n)
+	for j := 0; j < n; j++ {
+		point[j] = r.Float64() * 5
+		ub := point[j] + r.Float64()*5
+		m.AddVar(0, ub, r.NormFloat64(), "v")
+	}
+	rows := 1 + r.Intn(6)
+	for i := 0; i < rows; i++ {
+		terms := make([]Term, 0, n)
+		lhs := 0.0
+		for j := 0; j < n; j++ {
+			c := math.Round(r.NormFloat64() * 3)
+			if c != 0 {
+				terms = append(terms, Term{j, c})
+				lhs += c * point[j]
+			}
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		switch r.Intn(3) {
+		case 0:
+			m.AddConstraint(terms, LE, lhs+r.Float64(), "r")
+		case 1:
+			m.AddConstraint(terms, GE, lhs-r.Float64(), "r")
+		default:
+			m.AddConstraint(terms, EQ, lhs, "r")
+		}
+	}
+	return m, point
+}
+
+// TestSparseMatchesDenseRandom cross-checks the two engines on random
+// LPs: statuses must agree, and when optimal the objectives must agree to
+// 1e-6 (the vertex reached may differ; the optimum value may not).
+func TestSparseMatchesDenseRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 200; trial++ {
+		m, _ := buildRandomLP(r)
+		ds := m.Solve(Params{Dense: true})
+		sp := m.Solve(Params{})
+		if ds.Status != sp.Status {
+			t.Fatalf("trial %d: dense %v vs sparse %v", trial, ds.Status, sp.Status)
+		}
+		if ds.Status != Optimal {
+			continue
+		}
+		if math.Abs(ds.Objective-sp.Objective) > 1e-6*(1+math.Abs(ds.Objective)) {
+			t.Fatalf("trial %d: dense obj %v vs sparse obj %v", trial, ds.Objective, sp.Objective)
+		}
+		checkFeasible(t, m, sp)
+	}
+}
+
+// TestSparseMatchesDenseInfeasible cross-checks infeasibility detection.
+func TestSparseMatchesDenseInfeasible(t *testing.T) {
+	r := rand.New(rand.NewSource(31337))
+	agreeInfeasible := 0
+	for trial := 0; trial < 100; trial++ {
+		m, _ := buildRandomLP(r)
+		// Append a contradictory pair to force infeasibility.
+		v := m.AddVar(0, 10, 0, "w")
+		m.AddConstraint([]Term{{v, 1}}, GE, 6, "a")
+		m.AddConstraint([]Term{{v, 1}}, LE, 4, "b")
+		ds := m.Solve(Params{Dense: true})
+		sp := m.Solve(Params{})
+		if ds.Status != Infeasible || sp.Status != Infeasible {
+			t.Fatalf("trial %d: dense %v sparse %v, want both infeasible", trial, ds.Status, sp.Status)
+		}
+		agreeInfeasible++
+	}
+	if agreeInfeasible != 100 {
+		t.Fatalf("agree = %d", agreeInfeasible)
+	}
+}
+
+// TestSparseUnbounded checks the sparse engine reports unbounded rays.
+func TestSparseUnbounded(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar(0, math.Inf(1), 1, "x")
+	m.Maximize()
+	m.AddConstraint([]Term{{x, -1}}, LE, 0, "c")
+	if sol := m.Solve(Params{}); sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+// TestSparseTransportationMatchesDense cross-checks a mid-size structured
+// LP (the BenchmarkSimplexMedium model).
+func TestSparseTransportationMatchesDense(t *testing.T) {
+	m := buildTransportation(20)
+	ds := m.Solve(Params{Dense: true})
+	sp := m.Solve(Params{})
+	if ds.Status != Optimal || sp.Status != Optimal {
+		t.Fatalf("dense %v sparse %v", ds.Status, sp.Status)
+	}
+	if math.Abs(ds.Objective-sp.Objective) > 1e-6*(1+math.Abs(ds.Objective)) {
+		t.Fatalf("dense obj %v vs sparse obj %v", ds.Objective, sp.Objective)
+	}
+}
+
+// TestWarmStartSameModel re-solves a model from its own optimal basis: the
+// warm solve must agree and converge in (near) zero iterations.
+func TestWarmStartSameModel(t *testing.T) {
+	m := buildTransportation(10)
+	first := m.Solve(Params{})
+	if first.Status != Optimal || first.Basis == nil {
+		t.Fatalf("first solve: %v (basis %v)", first.Status, first.Basis != nil)
+	}
+	second := m.Solve(Params{Warm: first.Basis})
+	if second.Status != Optimal {
+		t.Fatalf("warm solve: %v", second.Status)
+	}
+	if math.Abs(first.Objective-second.Objective) > 1e-6*(1+math.Abs(first.Objective)) {
+		t.Fatalf("objectives differ: %v vs %v", first.Objective, second.Objective)
+	}
+	if second.Iters > 3 {
+		t.Fatalf("warm re-solve took %d iterations", second.Iters)
+	}
+}
+
+// TestWarmStartAfterBoundChange mimics a branch-and-bound child node:
+// tighten one variable's bounds and warm-start from the parent basis. The
+// answer must match a cold solve exactly.
+func TestWarmStartAfterBoundChange(t *testing.T) {
+	r := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 120; trial++ {
+		m, _ := buildRandomLP(r)
+		parent := m.Solve(Params{})
+		if parent.Status != Optimal {
+			continue
+		}
+		// Tighten a random variable the way branching does.
+		v := r.Intn(m.NumVars())
+		lb, ub := m.Bounds(v)
+		x := parent.X[v]
+		var nlb, nub float64
+		if r.Intn(2) == 0 {
+			nlb, nub = lb, math.Floor(x) // down branch
+		} else {
+			nlb, nub = math.Floor(x)+1, ub // up branch
+		}
+		if nub < nlb {
+			continue
+		}
+		m.SetBounds(v, nlb, nub)
+		warm := m.Solve(Params{Warm: parent.Basis})
+		cold := m.Solve(Params{})
+		m.SetBounds(v, lb, ub)
+		if warm.Status != cold.Status {
+			t.Fatalf("trial %d: warm %v vs cold %v", trial, warm.Status, cold.Status)
+		}
+		if cold.Status != Optimal {
+			continue
+		}
+		if math.Abs(warm.Objective-cold.Objective) > 1e-6*(1+math.Abs(cold.Objective)) {
+			t.Fatalf("trial %d: warm obj %v vs cold obj %v", trial, warm.Objective, cold.Objective)
+		}
+		checkFeasible(t, m, warm)
+	}
+}
+
+// TestWarmStartMismatchedBasisIgnored feeds a basis from a different model
+// shape; the solver must fall back to a cold start, not crash.
+func TestWarmStartMismatchedBasisIgnored(t *testing.T) {
+	small := buildTransportation(3)
+	sb := small.Solve(Params{})
+	big := buildTransportation(5)
+	sol := big.Solve(Params{Warm: sb.Basis})
+	cold := big.Solve(Params{})
+	if sol.Status != Optimal || math.Abs(sol.Objective-cold.Objective) > 1e-6 {
+		t.Fatalf("mismatched warm basis: %v obj %v (cold %v)", sol.Status, sol.Objective, cold.Objective)
+	}
+}
+
+// buildTransportation builds a k-source, k-sink transportation LP.
+func buildTransportation(k int) *Model {
+	r := rand.New(rand.NewSource(5))
+	m := NewModel()
+	vars := make([][]int, k)
+	for i := range vars {
+		vars[i] = make([]int, k)
+		for j := range vars[i] {
+			vars[i][j] = m.AddVar(0, math.Inf(1), 1+r.Float64(), "x")
+		}
+	}
+	for i := 0; i < k; i++ {
+		terms := make([]Term, k)
+		for j := 0; j < k; j++ {
+			terms[j] = Term{vars[i][j], 1}
+		}
+		m.AddConstraint(terms, EQ, 10, "supply")
+	}
+	for j := 0; j < k; j++ {
+		terms := make([]Term, k)
+		for i := 0; i < k; i++ {
+			terms[i] = Term{vars[i][j], 1}
+		}
+		m.AddConstraint(terms, EQ, 10, "demand")
+	}
+	return m
+}
+
+// BenchmarkSimplexMediumSparse / Dense time the two engines on the same
+// transportation LP for an apples-to-apples comparison.
+func benchSimplexMedium(b *testing.B, p Params) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := buildTransportation(20)
+		if sol := m.Solve(p); sol.Status != Optimal {
+			b.Fatalf("status %v", sol.Status)
+		}
+	}
+}
+
+func BenchmarkSimplexMediumSparse(b *testing.B) { benchSimplexMedium(b, Params{}) }
+func BenchmarkSimplexMediumDense(b *testing.B)  { benchSimplexMedium(b, Params{Dense: true}) }

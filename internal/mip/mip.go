@@ -93,11 +93,14 @@ func (m *Model) IsInteger(v int) bool {
 	return v < len(m.integer) && m.integer[v]
 }
 
-// node is one branch-and-bound subproblem: a set of tightened bounds.
+// node is one branch-and-bound subproblem: a set of tightened bounds plus
+// the parent's optimal basis, which warm-starts the node's LP re-solve.
+// The basis is shared read-only between sibling nodes.
 type node struct {
 	bound   float64 // LP relaxation objective (lower bound when minimizing)
 	depth   int
 	changes []boundChange
+	basis   *lp.Basis
 }
 
 type boundChange struct {
@@ -176,7 +179,7 @@ func (m *Model) Solve(p Params) Solution {
 	}
 
 	h := &nodeHeap{worst: sense}
-	heap.Push(h, &node{bound: root.Objective})
+	heap.Push(h, &node{bound: root.Objective, basis: root.Basis})
 
 	var best *Solution
 	nodes := 0
@@ -210,7 +213,13 @@ func (m *Model) Solve(p Params) Solution {
 			continue
 		}
 		undo := apply(nd.changes)
-		sol := m.Model.Solve(p.LP)
+		// Warm-start from the parent's optimal basis: after one bound
+		// tightening the basis is typically primal infeasible in a single
+		// row, which the LP's composite phase 1 repairs in a few pivots
+		// instead of re-solving from the all-artificial basis.
+		nodeLP := p.LP
+		nodeLP.Warm = nd.basis
+		sol := m.Model.Solve(nodeLP)
 		undo()
 		nodes++
 		if sol.Status != lp.Optimal {
@@ -243,13 +252,13 @@ func (m *Model) Solve(p Params) Solution {
 		if floor >= lb-1e-9 {
 			down := append(append([]boundChange(nil), nd.changes...),
 				boundChange{branchVar, lb, floor})
-			heap.Push(h, &node{bound: sol.Objective, depth: nd.depth + 1, changes: down})
+			heap.Push(h, &node{bound: sol.Objective, depth: nd.depth + 1, changes: down, basis: sol.Basis})
 		}
 		// Up branch: v >= ceil(x).
 		if floor+1 <= ub+1e-9 {
 			up := append(append([]boundChange(nil), nd.changes...),
 				boundChange{branchVar, floor + 1, ub})
-			heap.Push(h, &node{bound: sol.Objective, depth: nd.depth + 1, changes: up})
+			heap.Push(h, &node{bound: sol.Objective, depth: nd.depth + 1, changes: up, basis: sol.Basis})
 		}
 	}
 	if best == nil {

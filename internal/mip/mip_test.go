@@ -204,6 +204,32 @@ func TestRandomKnapsacksMatchBruteForce(t *testing.T) {
 	}
 }
 
+// Property: the warm-started sparse LP engine and the dense escape hatch
+// must agree on MIP objectives (the sparse/dense 1e-6 acceptance check at
+// the branch-and-bound level).
+func TestSparseAndDenseEnginesAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + r.Intn(6)
+		m := NewModel()
+		terms := make([]lp.Term, n)
+		for i := 0; i < n; i++ {
+			v := m.AddBinVar(1+math.Floor(r.Float64()*9), "x")
+			terms[i] = lp.Term{Var: v, Coeff: 1 + math.Floor(r.Float64()*9)}
+		}
+		m.Maximize()
+		m.AddConstraint(terms, lp.LE, math.Floor(r.Float64()*25), "cap")
+		sparse := m.Solve(Params{})
+		dense := m.Solve(Params{LP: lp.Params{Dense: true}})
+		if sparse.Status != dense.Status {
+			t.Fatalf("trial %d: sparse %v vs dense %v", trial, sparse.Status, dense.Status)
+		}
+		if sparse.Status == Optimal && !approx(sparse.Objective, dense.Objective) {
+			t.Fatalf("trial %d: sparse obj %v vs dense obj %v", trial, sparse.Objective, dense.Objective)
+		}
+	}
+}
+
 func BenchmarkKnapsack12(b *testing.B) {
 	r := rand.New(rand.NewSource(77))
 	n := 12

@@ -16,6 +16,19 @@ const maxExpandCubes = 1 << 16
 // tests. Unsatisfiable cubes are dropped; a tautological predicate
 // yields one empty cube.
 func PositiveCubes(p Pred) ([][]Test, error) {
+	// Fast path: a pure conjunction of positive tests (the shape of
+	// nearly every compiled statement predicate) is its own single cube;
+	// skip the NNF conversion and assignment machinery entirely.
+	if ts, ok := conjTests(p, make([]Test, 0, 4)); ok {
+		for i, a := range ts {
+			for _, b := range ts[:i] {
+				if a.Field == b.Field && a.Value != b.Value {
+					return nil, nil // contradictory pins: no satisfiable cube
+				}
+			}
+		}
+		return [][]Test{dedupTests(ts)}, nil
+	}
 	n, err := toNNF(p, false)
 	if err != nil {
 		return nil, err
@@ -38,6 +51,25 @@ func PositiveCubes(p Pred) ([][]Test, error) {
 		out = append(out, dedupTests(pos))
 	}
 	return out, nil
+}
+
+// conjTests collects the tests of a conjunction of positive atoms into
+// acc, reporting false if p contains any other connective.
+func conjTests(p Pred, acc []Test) ([]Test, bool) {
+	switch x := p.(type) {
+	case TruePred:
+		return acc, true
+	case Test:
+		return append(acc, x), true
+	case And:
+		acc, ok := conjTests(x.L, acc)
+		if !ok {
+			return nil, false
+		}
+		return conjTests(x.R, acc)
+	default:
+		return nil, false
+	}
 }
 
 func expandCubes(n nnf) ([][]nnfLit, error) {

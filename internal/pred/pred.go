@@ -411,6 +411,24 @@ func PairwiseDisjoint(ps []Pred) (bool, int, int, error) {
 	return true, 0, 0, nil
 }
 
+// OnlyFields reports whether every atom of p tests a field accepted by
+// ok. It is the allocation-free form of Fields for yes/no queries on the
+// compiler's hot path.
+func OnlyFields(p Pred, ok func(Field) bool) bool {
+	switch q := p.(type) {
+	case Test:
+		return ok(q.Field)
+	case And:
+		return OnlyFields(q.L, ok) && OnlyFields(q.R, ok)
+	case Or:
+		return OnlyFields(q.L, ok) && OnlyFields(q.R, ok)
+	case Not:
+		return OnlyFields(q.P, ok)
+	default:
+		return true
+	}
+}
+
 // Fields returns the sorted set of fields mentioned in p.
 func Fields(p Pred) []Field {
 	set := make(map[Field]bool)

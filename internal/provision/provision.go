@@ -10,6 +10,7 @@ package provision
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"merlin/internal/logical"
@@ -158,7 +159,16 @@ func Solve(t *topo.Topology, reqs []Request, h Heuristic, p Params) (*Result, er
 	}
 	rmax := model.Model.AddVar(0, 1, 0, "rmax") // eq. 5: rmax <= 1
 	rmaxBits := model.Model.AddVar(0, math.Inf(1), 0, "Rmax")
-	for c, terms := range cableTerms {
+	// Emit cable constraints in sorted order: map iteration order would
+	// otherwise vary run to run, steering the simplex to different (if
+	// equally optimal) vertices and making compiled output nondeterministic.
+	cables := make([]topo.LinkID, 0, len(cableTerms))
+	for c := range cableTerms {
+		cables = append(cables, c)
+	}
+	sort.Slice(cables, func(i, j int) bool { return cables[i] < cables[j] })
+	for _, c := range cables {
+		terms := cableTerms[c]
 		capBits := t.Link(c).Capacity
 		ruv := model.Model.AddVar(0, 1, 0, fmt.Sprintf("r_%d", c))
 		// eq. 2: ruv * cuv = Σ rmin_i x_e  ⇔  ruv - Σ (rmin/c) x_e = 0

@@ -76,6 +76,52 @@ func (g Group) String() string {
 
 func (c Concat) String() string { return c.L.String() + " " + c.R.String() }
 
+// Key renders e as a memoization key. Unlike String it distinguishes a
+// tagged Group from a plain alternation over the same members, so caches
+// keyed on it never share a graph built from a tag-free expression with a
+// statement whose expression places functions (or vice versa).
+func Key(e Expr) string {
+	var sb strings.Builder
+	writeKey(&sb, e)
+	return sb.String()
+}
+
+func writeKey(sb *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case Group:
+		sb.WriteByte('(')
+		sb.WriteString(x.Tag)
+		sb.WriteByte(':')
+		for i, m := range x.Members {
+			if i > 0 {
+				sb.WriteByte('|')
+			}
+			sb.WriteString(m)
+		}
+		sb.WriteByte(')')
+	case Concat:
+		writeKey(sb, x.L)
+		sb.WriteByte(' ')
+		writeKey(sb, x.R)
+	case Alt:
+		sb.WriteByte('(')
+		writeKey(sb, x.L)
+		sb.WriteByte('|')
+		writeKey(sb, x.R)
+		sb.WriteByte(')')
+	case Star:
+		sb.WriteByte('(')
+		writeKey(sb, x.X)
+		sb.WriteString(")*")
+	case Not:
+		sb.WriteString("!(")
+		writeKey(sb, x.X)
+		sb.WriteByte(')')
+	default:
+		sb.WriteString(e.String())
+	}
+}
+
 func (a Alt) String() string {
 	return "(" + a.L.String() + "|" + a.R.String() + ")"
 }

@@ -111,10 +111,17 @@ func (tr *Tree) Reaches(src topo.NodeID) bool {
 // PathFrom returns the steps of the tree path from src to the destination,
 // or nil if src cannot reach it.
 func (tr *Tree) PathFrom(src topo.NodeID) []logical.Step {
+	return tr.PathFromBuf(nil, src)
+}
+
+// PathFromBuf is PathFrom appending into buf, for callers reusing a
+// scratch buffer across many sources. The result aliases buf unless tag
+// recovery had to rebuild it; it is nil exactly when PathFrom's would be.
+func (tr *Tree) PathFromBuf(buf []logical.Step, src topo.NodeID) []logical.Step {
 	if !tr.Reaches(src) {
 		return nil
 	}
-	var steps []logical.Step
+	steps := buf[:0]
 	eid := tr.entry[src]
 	for {
 		e := tr.g.Edges[eid]
