@@ -121,6 +121,22 @@ func BenchmarkFig10bMMFS(b *testing.B) {
 	}
 }
 
+// Incremental compilation — full recompile versus Compiler.Update for
+// each case (the acceptance benchmark: the k=8 cap-change update must be
+// ≥5x faster than the full compile; the experiment rows report the
+// measured ratio).
+func BenchmarkIncremental(b *testing.B) {
+	for _, c := range experiments.IncrementalCases() {
+		b.Run(c.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.IncrementalRun(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // Ablations.
 func BenchmarkAblationHeuristics(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -27,6 +27,8 @@ func main() {
 		heuristic = flag.String("heuristic", "wsp", "path selection: wsp, ratio, reserved")
 		placeArg  = flag.String("place", "", "function placements, e.g. dpi=m1;nat=m1,h2")
 		greedy    = flag.Bool("greedy", false, "use the greedy allocator instead of the MIP")
+		workers   = flag.Int("workers", 0, "compile worker pool size (0 = all CPUs, 1 = sequential)")
+		timing    = flag.Bool("time", false, "print the per-phase compile-time breakdown")
 		verbose   = flag.Bool("v", false, "print every generated rule")
 	)
 	flag.Parse()
@@ -50,7 +52,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := merlin.Options{Greedy: *greedy}
+	opts := merlin.Options{Greedy: *greedy, Workers: *workers}
 	switch *heuristic {
 	case "wsp":
 		opts.Heuristic = merlin.WeightedShortestPath
@@ -70,9 +72,16 @@ func main() {
 		len(res.Policy.Statements), len(t.Switches()), len(t.Hosts()))
 	fmt.Printf("  openflow rules: %d\n  queue configs:  %d\n  tc commands:    %d\n  iptables:       %d\n  click configs:  %d\n",
 		c.OpenFlow, c.Queues, c.TC, c.IPTables, c.Click)
-	fmt.Printf("  timing: preprocess=%v graphs=%v lp-construct=%v lp-solve=%v rateless=%v codegen=%v\n",
-		res.Timing.Preprocess, res.Timing.GraphBuild, res.Timing.LPConstruct,
-		res.Timing.LPSolve, res.Timing.Rateless, res.Timing.Codegen)
+	if *timing {
+		tm := res.Timing
+		fmt.Printf("  timing (total %v):\n", tm.Total())
+		fmt.Printf("    preprocess:   %v\n    graph build:  %v\n    lp construct: %v\n    lp solve:     %v\n    rateless:     %v\n    codegen:      %v\n",
+			tm.Preprocess, tm.GraphBuild, tm.LPConstruct, tm.LPSolve, tm.Rateless, tm.Codegen)
+	} else {
+		fmt.Printf("  timing: preprocess=%v graphs=%v lp-construct=%v lp-solve=%v rateless=%v codegen=%v\n",
+			res.Timing.Preprocess, res.Timing.GraphBuild, res.Timing.LPConstruct,
+			res.Timing.LPSolve, res.Timing.Rateless, res.Timing.Codegen)
+	}
 	for id, path := range res.Paths {
 		fmt.Printf("  path %-8s %s\n", id+":", merlin.DescribePath(path))
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -80,6 +81,8 @@ func parallelDo(n, workers int, f func(i int)) {
 }
 
 // Timing breaks down where compilation time went — the Table 7 columns.
+// For an incremental run only the work actually performed is counted, so
+// a cache-served phase reports (near) zero.
 type Timing struct {
 	Preprocess time.Duration
 	// GraphBuild is the wall-clock of the whole per-statement phase-1
@@ -130,288 +133,618 @@ func (r *Result) Counts() codegen.Counts { return r.Output.Counts() }
 // Compile runs the full §3 pipeline: preprocess, localize, build logical
 // topologies, provision guaranteed traffic via the MIP, provision
 // best-effort traffic via sink trees, and generate device configurations.
+//
+// It is a thin wrapper over a one-shot Compiler; long-running controllers
+// that recompile on policy changes should hold a Compiler and call its
+// Compile/Update methods instead, which reuse cached artifacts across
+// calls.
 func Compile(pol *Policy, t *Topology, place Placement, opts Options) (*Result, error) {
-	res := &Result{
-		Paths:      map[string][]string{},
-		Placements: map[string][]PlacementChoice{},
-		Programs:   map[NodeID]*interp.Program{},
+	return NewCompiler(t, place, opts).Compile(pol)
+}
+
+// runState carries one compilation pass over the Compiler's caches.
+type runState struct {
+	work   *Policy
+	allocs map[string]Alloc
+	// arts holds the per-statement artifacts, by statement index.
+	arts []*stmtArtifact
+	res  *Result
+	// aliased reports that the incoming policy's statement slice is the
+	// same backing array as the previous pass's — the formula-only delta
+	// every negotiation tick produces — so per-statement fingerprints
+	// need not be recomputed. Policies are treated as immutable.
+	aliased bool
+	// rebuilt reports that some per-statement artifact was (re)built this
+	// pass — the policy's statements are not identical to the previous
+	// pass's, so the codegen patch fast-path must not be taken.
+	rebuilt bool
+	// provReused reports that the provisioning solution was served from
+	// cache without a solve.
+	provReused bool
+	// Provisioning products, shared between provisionStage (solve) and
+	// guaranteedPlans (assembly — skipped on the codegen patch path).
+	requests []provision.Request
+	reqArts  []*stmtArtifact
+	reqStmt  map[string]int // request ID -> statement priority
+	sol      *provision.Result
+}
+
+func (run *runState) alloc(id string) Alloc {
+	if a, ok := run.allocs[id]; ok {
+		return a
 	}
-	// Phase 0: preprocess + localize. First-match semantics for
-	// overlapping predicates is realized through rule priorities rather
-	// than the MakeDisjoint rewrite: the rewrite conjoins each statement
-	// with the negation of all earlier ones, which makes classifier
-	// expansion exponential on large policies, while priorities encode
-	// the same semantics for free.
+	return policy.Unconstrained
+}
+
+// preprocessStage runs phase 0: preprocess and localize.
+func (c *Compiler) preprocessStage(pol *Policy, run *runState) error {
+	// First-match semantics for overlapping predicates is realized through
+	// rule priorities rather than the MakeDisjoint rewrite: the rewrite
+	// conjoins each statement with the negation of all earlier ones, which
+	// makes classifier expansion exponential on large policies, while
+	// priorities encode the same semantics for free.
 	start := time.Now()
 	work := pol
-	if !opts.SkipPreprocess {
+	if !c.opts.SkipPreprocess {
 		var err error
 		work, err = policy.Preprocess(pol, policy.PreprocessOptions{
-			AddDefault: !opts.NoDefault,
+			AddDefault: !c.opts.NoDefault,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	res.Policy = work
-	allocs, err := policy.Localize(work.Formula, opts.Split)
+	run.work = work
+	run.res.Policy = work
+	allocs, err := policy.Localize(work.Formula, c.opts.Split)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	res.Allocations = allocs
-	res.Timing.Preprocess = time.Since(start)
+	run.allocs = allocs
+	run.res.Allocations = allocs
+	run.res.Timing.Preprocess = time.Since(start)
+	return nil
+}
 
-	ids := t.Identities()
-	hosts := t.Hosts()
-	alpha := logical.Alphabet(t)
-	alloc := func(id string) Alloc {
-		if a, ok := allocs[id]; ok {
-			return a
-		}
-		return policy.Unconstrained
-	}
-
-	// Phase 1: build per-statement artifacts. Endpoint derivation and the
-	// anchored product-graph builds are independent per statement, so they
-	// fan out over a bounded worker pool; results merge in statement order
-	// so the output is identical for every pool size. Path expressions are
-	// resolved (and their symbols interned into the shared alphabet) up
-	// front because interning mutates the alphabet.
-	type beWork struct {
-		stmt     policy.Statement
-		expr     regex.Expr
-		key      string
-		srcs     []NodeID
-		dsts     []NodeID
-		classify codegen.Classify
-		priority int
-	}
-	type stmtPrep struct {
-		expr       regex.Expr
-		srcs, dsts []NodeID
-		guaranteed bool
-		graph      *logical.Graph
-		err        error
-	}
-	var (
-		requests []provision.Request
-		reqStmt  = map[string]int{} // request ID -> statement priority
-		reqPrep  []int              // request order -> statement index
-		bestEff  []beWork
-	)
+// statementStage runs phase 1 against the artifact cache: path-expression
+// resolution, endpoint derivation, and anchored product-graph builds for
+// guaranteed statements. Only statements whose fingerprint misses the
+// cache are rebuilt; builds fan out over the worker pool and results merge
+// in statement order, so output is identical for every pool size.
+func (c *Compiler) statementStage(run *runState) error {
 	gs := time.Now()
+	work := run.work
 	n := len(work.Statements)
-	prep := make([]stmtPrep, n)
+	arts := make([]*stmtArtifact, n)
+	errs := make([]error, n)
+	fresh := make([]bool, n)      // artifact (re)built: needs endpoints
+	builtGraph := make([]bool, n) // anchored graph built, for stats
+
+	// Sequential pass: match artifacts against the cache; resolve dirty
+	// path expressions and intern their symbols in statement order
+	// (interning mutates the shared alphabet). When the statement slice
+	// is the previous pass's (run.aliased), cache hits skip the
+	// fingerprint — at 10k+ statements, rendering predicates dominates an
+	// otherwise no-op pass.
+	alphaSize := c.alpha.Size()
 	for idx, s := range work.Statements {
-		expr, err := resolveExpr(s.Path, place, ids)
-		if err != nil {
-			return nil, fmt.Errorf("merlin: statement %s: %w", s.ID, err)
+		fp := ""
+		if !run.aliased {
+			fp = stmtFingerprint(s)
 		}
-		for _, sym := range regex.Symbols(expr) {
-			alpha.Intern(sym)
-		}
-		prep[idx].expr = expr
-	}
-	parallelDo(n, opts.Workers, func(idx int) {
-		s := work.Statements[idx]
-		p := &prep[idx]
-		srcs, dsts, err := endpoints(s.Predicate, t, ids, hosts)
-		if err != nil {
-			p.err = fmt.Errorf("merlin: statement %s: %w", s.ID, err)
-			return
-		}
-		p.srcs, p.dsts = srcs, dsts
-		if alloc(s.ID).Min <= 0 {
-			return
-		}
-		p.guaranteed = true
-		if len(srcs) != 1 || len(dsts) != 1 {
-			p.err = fmt.Errorf("merlin: statement %s: bandwidth guarantees need a unique source and destination", s.ID)
-			return
-		}
-		p.graph, p.err = logical.BuildAnchored(t, p.expr, alpha,
-			t.Node(srcs[0]).Name, t.Node(dsts[0]).Name)
-	})
-	for idx, s := range work.Statements {
-		p := &prep[idx]
-		if p.err != nil {
-			return nil, p.err
-		}
-		priority := n - idx
-		if p.guaranteed {
-			requests = append(requests, provision.Request{ID: s.ID, Graph: p.graph, MinRate: alloc(s.ID).Min})
-			reqStmt[s.ID] = priority
-			reqPrep = append(reqPrep, idx)
+		if art, ok := c.stmts[s.ID]; ok && (run.aliased || art.fp == fp) {
+			arts[idx] = art
 			continue
 		}
-		classify := codegen.ByPredicate
-		if pureConnectivity(s.Predicate) {
-			classify = codegen.ByDestination
+		if run.aliased {
+			fp = stmtFingerprint(s)
 		}
-		bestEff = append(bestEff, beWork{
-			stmt: s, expr: p.expr, key: regex.Key(p.expr), srcs: p.srcs, dsts: p.dsts,
-			classify: classify, priority: priority,
-		})
+		expr := resolveExpr(s.Path, c.place, c.ids)
+		for _, sym := range regex.Symbols(expr) {
+			c.alpha.Intern(sym)
+		}
+		arts[idx] = &stmtArtifact{
+			fp:   fp,
+			expr: expr,
+			key:  regex.Key(expr),
+			pure: pureConnectivity(s.Predicate),
+		}
+		fresh[idx] = true
+		run.rebuilt = true
+		c.tainted = true
 	}
-	res.Timing.GraphBuild = time.Since(gs)
+	if c.alpha.Size() != alphaSize {
+		// The alphabet grew: automata determinized/minimized against the
+		// old alphabet can differ from ones built now, so every cached
+		// product graph and sink tree is stale. Drop them outright — the
+		// generation check would bypass them anyway, and a long-running
+		// controller must not accumulate dead artifacts.
+		c.alphaGen++
+		c.graphs = map[string]*graphArtifact{}
+		c.trees = map[treeKey]*treeArtifact{}
+	}
 
-	var plans []codegen.Plan
-
-	// Phase 2: guaranteed traffic through the MIP (§3.2), or the greedy
-	// baseline when requested.
-	if len(requests) > 0 {
-		var sol *provision.Result
-		var err error
-		if opts.Greedy {
-			sol, err = provision.Greedy(t, requests)
-		} else {
-			sol, err = provision.Solve(t, requests, opts.Heuristic, provision.Params{MIP: opts.MIP})
+	// Parallel pass over the statements with outstanding work: endpoints
+	// for fresh artifacts, anchored product graphs for guaranteed
+	// statements missing a current one. A cached guaranteed statement
+	// with a current graph already passed the uniqueness check when the
+	// graph was built (same predicate → same endpoints), so only fresh
+	// or graph-stale statements need visiting.
+	var worklist []int
+	for idx, s := range work.Statements {
+		if fresh[idx] {
+			worklist = append(worklist, idx)
+			continue
 		}
+		art := arts[idx]
+		if run.alloc(s.ID).Min > 0 && (art.anchored == nil || art.anchoredGen != c.alphaGen) {
+			worklist = append(worklist, idx)
+		}
+	}
+	parallelDo(len(worklist), c.opts.Workers, func(wi int) {
+		idx := worklist[wi]
+		s := work.Statements[idx]
+		art := arts[idx]
+		if fresh[idx] {
+			srcs, dsts, err := endpoints(s.Predicate, c.t, c.ids, c.hosts)
+			if err != nil {
+				errs[idx] = fmt.Errorf("merlin: statement %s: %w", s.ID, err)
+				return
+			}
+			art.srcs, art.dsts = srcs, dsts
+		}
+		if run.alloc(s.ID).Min <= 0 {
+			return
+		}
+		if len(art.srcs) != 1 || len(art.dsts) != 1 {
+			errs[idx] = fmt.Errorf("merlin: statement %s: bandwidth guarantees need a unique source and destination", s.ID)
+			return
+		}
+		if art.anchored != nil && art.anchoredGen == c.alphaGen {
+			return
+		}
+		g, err := logical.BuildAnchored(c.t, art.expr, c.alpha,
+			c.t.Node(art.srcs[0]).Name, c.t.Node(art.dsts[0]).Name)
 		if err != nil {
-			return nil, err
+			errs[idx] = err
+			return
 		}
-		res.Timing.LPConstruct = sol.ConstructTime
-		res.Timing.LPSolve = sol.SolveTime
-		for ri, r := range requests {
-			steps := sol.Paths[r.ID]
-			stmt, _ := work.Statement(r.ID)
-			srcs, dsts := prep[reqPrep[ri]].srcs, prep[reqPrep[ri]].dsts
-			plans = append(plans, codegen.Plan{
-				ID: r.ID, Predicate: stmt.Predicate, Priority: reqStmt[r.ID],
-				Alloc: alloc(r.ID), Classify: codegen.ByPredicate,
-				SrcHost: srcs[0], DstHost: dsts[0], Path: steps,
-			})
-			res.Paths[r.ID] = stepNames(t, steps)
-			for _, pl := range logical.PlacementsOf(steps) {
-				res.Placements[r.ID] = append(res.Placements[r.ID],
-					PlacementChoice{Fn: pl.Fn, Location: t.Node(pl.Loc).Name})
+		art.anchored, art.anchoredGen = g, c.alphaGen
+		builtGraph[idx] = true
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Commit: install artifacts, drop ones for vanished statements.
+	for idx, s := range work.Statements {
+		c.stmts[s.ID] = arts[idx]
+		if fresh[idx] {
+			c.stats.StatementBuilds++
+		}
+		if builtGraph[idx] {
+			c.stats.AnchoredBuilds++
+		}
+	}
+	if len(c.stmts) != n {
+		current := make(map[string]bool, n)
+		for _, s := range work.Statements {
+			current[s.ID] = true
+		}
+		for id := range c.stmts {
+			if !current[id] {
+				delete(c.stmts, id)
+				c.tainted = true
 			}
 		}
 	}
+	run.arts = arts
+	run.res.Timing.GraphBuild = time.Since(gs)
+	return nil
+}
 
-	// Phase 3: best-effort sink trees (§3.3). Product graphs are memoized
-	// per distinct path expression and sink trees per (expression,
-	// destination) pair; both build in parallel over the worker pool.
-	// Plan assembly stays sequential in statement order, so the generated
-	// configuration is byte-identical to the sequential compiler's.
+// provisionStage runs phase 2: guaranteed traffic through the MIP (§3.2),
+// or the greedy baseline when requested. An unchanged request set reuses
+// the cached solution outright; a rates-only change re-solves the same
+// model shape warm-started from the previous optimal basis. Plan assembly
+// is left to guaranteedPlans so the codegen patch path can skip it.
+func (c *Compiler) provisionStage(run *runState) error {
+	work := run.work
+	n := len(work.Statements)
+	run.reqStmt = map[string]int{}
+	for idx, s := range work.Statements {
+		if run.alloc(s.ID).Min <= 0 {
+			continue
+		}
+		run.requests = append(run.requests, provision.Request{
+			ID: s.ID, Graph: run.arts[idx].anchored, MinRate: run.alloc(s.ID).Min,
+		})
+		run.reqArts = append(run.reqArts, run.arts[idx])
+		run.reqStmt[s.ID] = n - idx
+	}
+	if len(run.requests) == 0 {
+		// The cached solution (if any) no longer matches; it is dropped
+		// in recompile's commit section so a failed pass keeps it.
+		return nil
+	}
+
+	sol, reused, err := c.solveRequests(run.requests)
+	if err != nil {
+		return err
+	}
+	run.sol = sol
+	run.provReused = reused
+	if !reused {
+		run.res.Timing.LPConstruct = sol.ConstructTime
+		run.res.Timing.LPSolve = sol.SolveTime
+	}
+	return nil
+}
+
+// guaranteedPlans decodes the provisioning solution into codegen plans,
+// paths, and placements.
+func (c *Compiler) guaranteedPlans(run *runState) []codegen.Plan {
+	res := run.res
+	var plans []codegen.Plan
+	for ri, r := range run.requests {
+		steps := run.sol.Paths[r.ID]
+		stmt, _ := run.work.Statement(r.ID)
+		art := run.reqArts[ri]
+		plans = append(plans, codegen.Plan{
+			ID: r.ID, Predicate: stmt.Predicate, Priority: run.reqStmt[r.ID],
+			Alloc: run.alloc(r.ID), Classify: codegen.ByPredicate,
+			SrcHost: art.srcs[0], DstHost: art.dsts[0], Path: steps,
+		})
+		res.Paths[r.ID] = stepNames(c.t, steps)
+		for _, pl := range logical.PlacementsOf(steps) {
+			res.Placements[r.ID] = append(res.Placements[r.ID],
+				PlacementChoice{Fn: pl.Fn, Location: c.t.Node(pl.Loc).Name})
+		}
+	}
+	return plans
+}
+
+// solveRequests serves the provisioning solution from cache when the
+// request set is unchanged, warm-starts when only rates changed, and
+// solves cold otherwise. It commits the new provisioning artifact.
+func (c *Compiler) solveRequests(requests []provision.Request) (sol *provision.Result, reused bool, err error) {
+	cached := c.prov
+	sameShape := cached != nil &&
+		cached.greedy == c.opts.Greedy &&
+		cached.heuristic == c.opts.Heuristic &&
+		len(cached.ids) == len(requests)
+	sameRates := sameShape
+	if sameShape {
+		for i, r := range requests {
+			if cached.ids[i] != r.ID || cached.graphs[i] != r.Graph {
+				sameShape, sameRates = false, false
+				break
+			}
+			if cached.rates[i] != r.MinRate {
+				sameRates = false
+			}
+		}
+	}
+	if sameRates {
+		// Pure cache hit: c.prov already describes these requests.
+		c.stats.SolvesReused++
+		return cached.res, true, nil
+	}
+	switch {
+	case c.opts.Greedy:
+		sol, err = provision.Greedy(c.t, requests)
+		c.stats.Solves++
+	default:
+		params := provision.Params{MIP: c.opts.MIP}
+		if sameShape && cached.res.Basis != nil {
+			// Rates-only change: same variables and constraints, new
+			// coefficients. The previous optimal basis installs directly
+			// and phase 1 repairs any rate-induced infeasibility in a few
+			// pivots (§4.3's fast re-provisioning path).
+			params.Warm = cached.res.Basis
+			c.stats.WarmSolves++
+		} else {
+			c.stats.Solves++
+		}
+		sol, err = provision.Solve(c.t, requests, c.opts.Heuristic, params)
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	art := &provArtifact{
+		ids:       make([]string, len(requests)),
+		graphs:    make([]*logical.Graph, len(requests)),
+		rates:     make([]float64, len(requests)),
+		heuristic: c.opts.Heuristic,
+		greedy:    c.opts.Greedy,
+		res:       sol,
+	}
+	for i, r := range requests {
+		art.ids[i], art.graphs[i], art.rates[i] = r.ID, r.Graph, r.MinRate
+	}
+	c.prov = art
+	return sol, reused, nil
+}
+
+// bestEffortStage runs phase 3: best-effort sink trees (§3.3). Product
+// graphs are cached per distinct path expression and sink trees per
+// (expression, destination) pair — across compiles, not just within one.
+// Missing entries build in parallel over the worker pool; plan assembly
+// stays sequential in statement order, so the generated configuration is
+// byte-identical to the sequential compiler's.
+func (c *Compiler) bestEffortStage(run *runState, plans []codegen.Plan) ([]codegen.Plan, error) {
 	rs := time.Now()
+	work := run.work
+	res := run.res
+	n := len(work.Statements)
+	type beWork struct {
+		art      *stmtArtifact
+		stmt     policy.Statement
+		classify codegen.Classify
+		priority int
+	}
+	var bestEff []beWork
+	for idx, s := range work.Statements {
+		if run.alloc(s.ID).Min > 0 {
+			continue
+		}
+		art := run.arts[idx]
+		classify := codegen.ByPredicate
+		if art.pure {
+			classify = codegen.ByDestination
+		}
+		bestEff = append(bestEff, beWork{art: art, stmt: s, classify: classify, priority: n - idx})
+	}
+
+	// Product graphs, first-seen key order (statement order).
 	var (
 		keyOrder []string
 		keyExpr  []regex.Expr
 		keyIdx   = map[string]int{}
 	)
 	for _, w := range bestEff {
-		if _, ok := keyIdx[w.key]; !ok {
-			keyIdx[w.key] = len(keyOrder)
-			keyOrder = append(keyOrder, w.key)
-			keyExpr = append(keyExpr, w.expr)
+		if _, ok := keyIdx[w.art.key]; !ok {
+			keyIdx[w.art.key] = len(keyOrder)
+			keyOrder = append(keyOrder, w.art.key)
+			keyExpr = append(keyExpr, w.art.expr)
 		}
 	}
-	graphs := make([]*logical.Graph, len(keyOrder))
-	graphErrs := make([]error, len(keyOrder))
-	keyHasTags := make([]bool, len(keyOrder))
-	for i, e := range keyExpr {
-		keyHasTags[i] = regex.HasTags(e)
+	graphs := make([]*graphArtifact, len(keyOrder))
+	var missing []int
+	for i, key := range keyOrder {
+		if g, ok := c.graphs[key]; ok && g.gen == c.alphaGen {
+			graphs[i] = g
+			continue
+		}
+		missing = append(missing, i)
 	}
-	parallelDo(len(keyOrder), opts.Workers, func(i int) {
-		graphs[i], graphErrs[i] = logical.BuildMinimized(t, keyExpr[i], alpha)
+	graphErrs := make([]error, len(missing))
+	parallelDo(len(missing), c.opts.Workers, func(mi int) {
+		i := missing[mi]
+		g, err := logical.BuildMinimized(c.t, keyExpr[i], c.alpha)
+		if err != nil {
+			graphErrs[mi] = err
+			return
+		}
+		graphs[i] = &graphArtifact{g: g, hasTags: regex.HasTags(keyExpr[i]), gen: c.alphaGen}
 	})
-	// First-seen key order is statement order, so reporting the first
-	// failed key matches the sequential compiler's error.
+	// Missing keys are visited in first-seen (statement) order, so the
+	// first failed key matches the sequential compiler's error.
 	for _, err := range graphErrs {
 		if err != nil {
 			return nil, err
 		}
 	}
+	for _, i := range missing {
+		c.graphs[keyOrder[i]] = graphs[i]
+		c.stats.GraphBuilds++
+	}
+
+	// Sink trees per (expression, destination), first-seen order.
 	type treeJob struct {
 		graph  int // index into graphs
 		dst    NodeID
 		stmtID string // first statement needing the tree, for errors
 	}
-	// Pair keys pack (expression index, destination) into one integer.
-	pairKey := func(key int, dst NodeID) int64 { return int64(key)<<32 | int64(uint32(dst)) }
 	var (
 		jobs    []treeJob
-		pairIdx = map[int64]int{}
+		jobIdx  = map[treeKey]int{}
+		treeArt = []*treeArtifact{}
 	)
 	for _, w := range bestEff {
-		ki := keyIdx[w.key]
-		for _, dst := range w.dsts {
-			tkey := pairKey(ki, dst)
-			if _, ok := pairIdx[tkey]; !ok {
-				pairIdx[tkey] = len(jobs)
+		ki := keyIdx[w.art.key]
+		for _, dst := range w.art.dsts {
+			tkey := treeKey{key: w.art.key, dst: dst}
+			if _, ok := jobIdx[tkey]; !ok {
+				jobIdx[tkey] = len(jobs)
 				jobs = append(jobs, treeJob{graph: ki, dst: dst, stmtID: w.stmt.ID})
+				treeArt = append(treeArt, nil)
 			}
 		}
 	}
-	trees := make([]*sinktree.Tree, len(jobs))
-	treeErrs := make([]error, len(jobs))
-	parallelDo(len(jobs), opts.Workers, func(i int) {
-		trees[i], treeErrs[i] = sinktree.TreeTo(graphs[jobs[i].graph], jobs[i].dst)
-	})
-	for i, err := range treeErrs {
+	var missingTrees []int
+	for ji, job := range jobs {
+		tkey := treeKey{key: keyOrder[job.graph], dst: job.dst}
+		if ta, ok := c.trees[tkey]; ok && ta.gen == c.alphaGen {
+			treeArt[ji] = ta
+			continue
+		}
+		missingTrees = append(missingTrees, ji)
+	}
+	treeErrs := make([]error, len(missingTrees))
+	parallelDo(len(missingTrees), c.opts.Workers, func(mi int) {
+		ji := missingTrees[mi]
+		tr, err := sinktree.TreeTo(graphs[jobs[ji].graph].g, jobs[ji].dst)
 		if err != nil {
-			return nil, fmt.Errorf("merlin: statement %s: %w", jobs[i].stmtID, err)
+			treeErrs[mi] = err
+			return
+		}
+		treeArt[ji] = &treeArtifact{tr: tr, gen: c.alphaGen}
+	})
+	for mi, err := range treeErrs {
+		if err != nil {
+			return nil, fmt.Errorf("merlin: statement %s: %w", jobs[missingTrees[mi]].stmtID, err)
 		}
 	}
+	for _, ji := range missingTrees {
+		c.trees[treeKey{key: keyOrder[jobs[ji].graph], dst: jobs[ji].dst}] = treeArt[ji]
+		c.stats.TreeBuilds++
+	}
+
+	// Plan assembly, sequential in statement order.
 	for _, w := range bestEff {
-		ki := keyIdx[w.key]
-		for _, dst := range w.dsts {
-			tree := trees[pairIdx[pairKey(ki, dst)]]
-			for _, src := range w.srcs {
+		ki := keyIdx[w.art.key]
+		hasTags := graphs[ki].hasTags
+		for _, dst := range w.art.dsts {
+			tree := treeArt[jobIdx[treeKey{key: w.art.key, dst: dst}]].tr
+			for _, src := range w.art.srcs {
 				if src == dst {
 					continue
 				}
 				plans = append(plans, codegen.Plan{
 					ID: w.stmt.ID, Predicate: w.stmt.Predicate, Priority: w.priority,
-					Alloc: alloc(w.stmt.ID), Classify: w.classify,
+					Alloc: run.alloc(w.stmt.ID), Classify: w.classify,
 					SrcHost: src, DstHost: dst, Tree: tree,
 				})
 				// Tag-free expressions cannot yield placements; skip the
 				// per-pair path decode entirely.
-				if !keyHasTags[ki] {
+				if !hasTags {
 					continue
 				}
 				if steps := tree.PathFrom(src); steps != nil {
 					for _, pl := range logical.PlacementsOf(steps) {
 						res.Placements[w.stmt.ID] = append(res.Placements[w.stmt.ID],
-							PlacementChoice{Fn: pl.Fn, Location: t.Node(pl.Loc).Name})
+							PlacementChoice{Fn: pl.Fn, Location: c.t.Node(pl.Loc).Name})
 					}
 				}
 			}
 		}
 	}
 	res.Timing.Rateless = time.Since(rs)
+	return plans, nil
+}
 
-	// Phase 4: code generation (§3.4).
+// codegenFull runs phase 4: code generation (§3.4). It also retains the
+// assembled plan list so a later caps-only pass can regenerate just the
+// tc commands from it.
+func (c *Compiler) codegenFull(run *runState, plans []codegen.Plan) error {
 	cs := time.Now()
-	out, err := codegen.Generate(t, plans)
+	out, err := codegen.Generate(c.t, plans)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	res.Output = out
-	res.buildPrograms(t, work, allocs, ids, hosts)
+	run.res.Output = out
+	c.lastPlans, c.plansSorted = plans, false
+	c.stats.FullCodegens++
+	c.buildPrograms(run)
+	run.res.Timing.Codegen = time.Since(cs)
+	return nil
+}
+
+// codegenPatch is the caps-only fast path (§4's bandwidth re-allocation
+// without recompilation): forwarding rules, queues, Click configurations,
+// tags, paths, and placements are all reused from the previous result —
+// only the tc commands and end-host programs, the artifacts a cap
+// actually reaches, are regenerated.
+func (c *Compiler) codegenPatch(run *runState) {
+	cs := time.Now()
+	res := run.res
+	out := *c.last.Output // shallow: rules/queues/click/tags shared
+	out.TC = c.regenerateTC(run)
+	res.Output = &out
+	res.Paths = c.last.Paths
+	res.Placements = c.last.Placements
+	c.stats.PatchedCodegens++
+	c.buildPrograms(run)
 	res.Timing.Codegen = time.Since(cs)
-	return res, nil
+}
+
+// patchableCodegen reports whether this pass may reuse the previous
+// output's rules: the statement cache is untouched since the last
+// successful pass (c.tainted covers both this pass's rebuilds and a
+// previous failed pass's), the statement set and order are unchanged, no
+// guarantee moved (the provisioning solution was served from cache), and
+// no Min rate changed — so only caps (tc commands, end-host programs)
+// can differ.
+func (c *Compiler) patchableCodegen(run *runState) bool {
+	if c.last == nil || c.last.Output == nil || c.tainted || run.rebuilt {
+		return false
+	}
+	if len(c.lastOrder) != len(run.work.Statements) {
+		return false
+	}
+	// Always compare against the last successful order — run.aliased only
+	// certifies identity with the slice the statement cache was written
+	// from, which after a failed pass is not the last success.
+	for i, s := range run.work.Statements {
+		if c.lastOrder[i] != s.ID {
+			return false
+		}
+	}
+	// Min deltas: the allocation maps only hold formula-mentioned
+	// statements, so comparing them beats walking every statement.
+	for id, a := range run.allocs {
+		old, ok := c.allocs[id]
+		if !ok {
+			old = policy.Unconstrained
+		}
+		if old.Min != a.Min {
+			return false
+		}
+	}
+	for id, old := range c.allocs {
+		if _, ok := run.allocs[id]; !ok && old.Min != 0 {
+			return false
+		}
+	}
+	hadRequests := c.prov != nil && len(c.prov.ids) > 0
+	if hadRequests && !run.provReused {
+		return false
+	}
+	return true
+}
+
+// regenerateTC re-emits the tc cap commands exactly as codegen.Generate
+// would — plans stably sorted by descending priority, one command per
+// plan with a finite nonzero cap — from the retained plan list, with each
+// plan's cap read from the current allocations.
+func (c *Compiler) regenerateTC(run *runState) []codegen.HostCommand {
+	if !c.plansSorted {
+		sort.SliceStable(c.lastPlans, func(i, j int) bool {
+			return c.lastPlans[i].Priority > c.lastPlans[j].Priority
+		})
+		c.plansSorted = true
+	}
+	var tc []codegen.HostCommand
+	for i := range c.lastPlans {
+		p := &c.lastPlans[i]
+		if max := run.alloc(p.ID).Max; codegen.CapApplies(max) {
+			tc = append(tc, codegen.CapCommand(p.SrcHost, p.ID, max))
+		}
+	}
+	return tc
 }
 
 // buildPrograms emits end-host interpreter programs: rate limits for caps
-// and drops for payload-matching filters iptables cannot express.
-func (r *Result) buildPrograms(t *Topology, pol *Policy, allocs map[string]Alloc, ids *topo.IdentityTable, hosts []NodeID) {
-	for _, s := range pol.Statements {
-		a, ok := allocs[s.ID]
+// and drops for payload-matching filters iptables cannot express. It uses
+// the endpoints derived (and validated) in the statement stage, so an
+// endpoint error aborts compilation there instead of being silently
+// swallowed here (which used to lose end-host programs for statements
+// with caps).
+func (c *Compiler) buildPrograms(run *runState) {
+	r := run.res
+	for idx, s := range run.work.Statements {
+		a, ok := run.allocs[s.ID]
 		if !ok || a.Max == 0 || math.IsNaN(a.Max) {
 			continue
 		}
 		if a.Max > 0 && !math.IsInf(a.Max, 1) {
-			srcs, _, err := endpoints(s.Predicate, t, ids, hosts)
-			if err != nil {
-				continue
-			}
-			for _, src := range srcs {
+			for _, src := range run.arts[idx].srcs {
 				prog := r.Programs[src]
 				if prog == nil {
-					prog = &interp.Program{Name: t.Node(src).Name}
+					prog = &interp.Program{Name: c.t.Node(src).Name}
 					r.Programs[src] = prog
 				}
 				prog.Clauses = append(prog.Clauses, interp.Clause{
@@ -422,9 +755,19 @@ func (r *Result) buildPrograms(t *Topology, pol *Policy, allocs map[string]Alloc
 	}
 }
 
+// stmtFingerprint identifies a statement's compilation-relevant inputs:
+// the predicate (endpoints, classification) and the raw path expression
+// (resolved expression and product graphs). Artifacts whose fingerprint
+// matches are reused across compiles.
+func stmtFingerprint(s policy.Statement) string {
+	return pred.Format(s.Predicate) + "\x00" + s.Path.String()
+}
+
 // resolveExpr substitutes function placements into the path expression and
 // rewrites host-identity symbols (MACs, IPs) into topology node names.
-func resolveExpr(e regex.Expr, place Placement, ids *topo.IdentityTable) (regex.Expr, error) {
+// It cannot fail: unplaced function symbols survive as-is and surface as
+// unsatisfiable path constraints during graph construction.
+func resolveExpr(e regex.Expr, place Placement, ids *topo.IdentityTable) regex.Expr {
 	if len(place) > 0 {
 		e = regex.Substitute(e, place)
 	}
@@ -470,7 +813,7 @@ func resolveExpr(e regex.Expr, place Placement, ids *topo.IdentityTable) (regex.
 		}
 	}
 	out, _ := rewrite(e)
-	return out, nil
+	return out
 }
 
 func nodeName(ids *topo.IdentityTable, node topo.NodeID, fallback string) string {

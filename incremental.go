@@ -1,0 +1,440 @@
+package merlin
+
+import (
+	"fmt"
+	"sync"
+
+	"merlin/internal/codegen"
+	"merlin/internal/interp"
+	"merlin/internal/logical"
+	"merlin/internal/policy"
+	"merlin/internal/provision"
+	"merlin/internal/regex"
+	"merlin/internal/sinktree"
+	"merlin/internal/topo"
+)
+
+// Diff is the device-level delta between two compiled outputs — what a
+// controller installs and removes to apply a policy update.
+type Diff = codegen.Diff
+
+// Compiler is a stateful, incremental version of Compile for long-running
+// controllers: it is bound to one topology and keeps every expensive
+// compilation artifact — per-statement endpoints and anchored product
+// graphs, minimized best-effort product graphs, per-destination sink
+// trees, and the provisioning solution with its optimal simplex basis —
+// cached across calls, keyed by the inputs that produced it. A recompile
+// after a small policy change (the §4 negotiation story: a tenant's cap
+// moves, a guarantee's rate is renegotiated, a statement is added)
+// rebuilds only the dirtied artifacts; everything else is served from
+// cache. A rates-only change re-solves the provisioning MIP warm-started
+// from the previous optimal basis, and a caps-only change skips rule
+// generation entirely, patching just the tc commands.
+//
+// The zero Compiler is not usable; construct with NewCompiler. Methods
+// are safe for concurrent use. The first Compile (or the Compile wrapper
+// function) produces byte-identical output to a cold compile; subsequent
+// Compile/Update calls produce output identical to what a fresh Compile
+// of the same policy would, up to solver-equivalent provisioning choices.
+//
+// One cost asymmetry to know about: a delta that interns a new symbol
+// into the shared alphabet (a path expression naming a new function or
+// location) invalidates every cached automaton-derived artifact, because
+// DFA minimization is alphabet-sensitive — and the alphabet cannot
+// shrink, so this holds even if that delta is subsequently rejected. The
+// tick after such a delta pays near-full-compile cost once, then returns
+// to incremental speed.
+type Compiler struct {
+	mu    sync.Mutex
+	t     *Topology
+	place Placement
+	opts  Options
+	ids   *topo.IdentityTable
+	hosts []NodeID
+
+	// alpha is the shared symbol alphabet. It only grows; alphaGen is
+	// bumped whenever it does, invalidating every cached automaton-derived
+	// artifact (minimization is alphabet-sensitive).
+	alpha    *regex.Alphabet
+	alphaGen int
+
+	// source is the last policy as handed in (pre-preprocessing); Update
+	// deltas apply to it. work/allocs/last mirror the last successful run.
+	source *Policy
+	work   *Policy
+	allocs map[string]Alloc
+	last   *Result
+	// lastOrder is the last run's statement ID order — priorities depend
+	// on position, so codegen patching requires it unchanged.
+	lastOrder []string
+	// artSource is the statement slice the per-statement cache was last
+	// written from; a policy sharing that backing array skips fingerprint
+	// checks entirely (policies are treated as immutable).
+	artSource []policy.Statement
+	// lastPlans retains the last full pass's assembled plans so a
+	// caps-only patch can regenerate tc commands without reassembling;
+	// they are sorted lazily on first patch.
+	lastPlans   []codegen.Plan
+	plansSorted bool
+
+	stmts  map[string]*stmtArtifact
+	graphs map[string]*graphArtifact
+	trees  map[treeKey]*treeArtifact
+	prov   *provArtifact
+	// tainted records that the statement cache changed (artifact rebuilt
+	// or pruned) since the last successful pass. A failed pass leaves it
+	// set, so a retry cannot take the codegen patch path against a
+	// last-good output the current artifacts no longer describe.
+	tainted bool
+
+	stats CompilerStats
+}
+
+// stmtArtifact caches one statement's phase-1 products. It is valid while
+// the statement's fingerprint (predicate + raw path expression) and the
+// placement table are unchanged; the anchored graph additionally requires
+// the alphabet generation it was built under.
+type stmtArtifact struct {
+	fp   string
+	expr regex.Expr // resolved: placements substituted, identities rewritten
+	key  string     // regex.Key(expr)
+	pure bool       // predicate only pins endpoints (ByDestination eligible)
+
+	srcs, dsts []NodeID
+
+	anchored    *logical.Graph // guaranteed statements' product graph
+	anchoredGen int
+}
+
+// graphArtifact caches a minimized best-effort product graph per resolved
+// path-expression key.
+type graphArtifact struct {
+	g       *logical.Graph
+	hasTags bool
+	gen     int
+}
+
+// treeKey identifies a sink tree: resolved expression key × destination.
+type treeKey struct {
+	key string
+	dst NodeID
+}
+
+type treeArtifact struct {
+	tr  *sinktree.Tree
+	gen int
+}
+
+// provArtifact caches the provisioning inputs and solution. Same inputs →
+// the solution is reused without a solve; same shape with different rates
+// → the model is rebuilt and solved warm-started from res.Basis.
+type provArtifact struct {
+	ids       []string
+	graphs    []*logical.Graph
+	rates     []float64
+	heuristic Heuristic
+	greedy    bool
+	res       *provision.Result
+}
+
+// CompilerStats counts what the incremental compiler actually did — the
+// observability hook tests and benchmarks use to prove deltas stay
+// incremental.
+type CompilerStats struct {
+	// Compiles counts full-policy passes (Compile calls); Updates counts
+	// delta applications.
+	Compiles int
+	Updates  int
+	// StatementBuilds counts per-statement artifact (re)builds;
+	// AnchoredBuilds the anchored product graphs among them.
+	StatementBuilds int
+	AnchoredBuilds  int
+	// GraphBuilds and TreeBuilds count minimized product graphs and sink
+	// trees built (cache misses).
+	GraphBuilds int
+	TreeBuilds  int
+	// Solves, WarmSolves, and SolvesReused split provisioning runs into
+	// cold solves, basis-warm-started re-solves, and cache hits.
+	Solves       int
+	WarmSolves   int
+	SolvesReused int
+	// FullCodegens and PatchedCodegens split phase 4 into full rule
+	// generation and the caps-only tc patch fast path.
+	FullCodegens    int
+	PatchedCodegens int
+}
+
+// NewCompiler creates an incremental compiler bound to a topology,
+// function placement table, and options. The topology must not be
+// mutated afterwards; placements change via Delta.Place.
+func NewCompiler(t *Topology, place Placement, opts Options) *Compiler {
+	return &Compiler{
+		t:      t,
+		place:  clonePlacement(place),
+		opts:   opts,
+		ids:    t.Identities(),
+		hosts:  t.Hosts(),
+		alpha:  logical.Alphabet(t),
+		stmts:  map[string]*stmtArtifact{},
+		graphs: map[string]*graphArtifact{},
+		trees:  map[treeKey]*treeArtifact{},
+	}
+}
+
+// Compile compiles a full policy through the artifact caches. On a fresh
+// Compiler this is exactly the one-shot pipeline; on a warm one it reuses
+// every artifact whose inputs are unchanged, so handing it a lightly
+// edited policy is as cheap as the corresponding Update.
+func (c *Compiler) Compile(pol *Policy) (*Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, err := c.recompile(pol)
+	if err != nil {
+		return nil, err
+	}
+	c.stats.Compiles++
+	return res, nil
+}
+
+// Result returns the most recent successful compilation result.
+func (c *Compiler) Result() *Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last
+}
+
+// Stats returns a snapshot of the incremental-work counters.
+func (c *Compiler) Stats() CompilerStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Delta is one incremental policy change for Update. Zero-valued fields
+// mean "unchanged".
+type Delta struct {
+	// Add appends statements to the policy (before the preprocessor's
+	// totality default, which is recomputed).
+	Add []Statement
+	// Remove drops statements by ID.
+	Remove []string
+	// Formula, if non-nil, replaces the bandwidth formula — the
+	// allocation-change path negotiators drive every tick.
+	Formula policy.Formula
+	// Place, if non-nil, replaces the function placement table. Placement
+	// substitution happens during path-expression resolution, so this
+	// invalidates every per-statement artifact.
+	Place Placement
+}
+
+// Update applies a delta to the current policy, recompiles only the
+// dirtied artifacts, and returns the device-level diff — the rules and
+// configurations to install and remove — instead of a full Output. The
+// full result remains available via Result.
+func (c *Compiler) Update(d Delta) (*Diff, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.source == nil {
+		return nil, fmt.Errorf("merlin: Compiler.Update called before the first Compile")
+	}
+	pol, err := c.applyDelta(d)
+	if err != nil {
+		return nil, err
+	}
+	if d.Place != nil {
+		// Resolved expressions embed placements; swap in a fresh
+		// statement cache so they re-resolve. Product graphs and trees
+		// stay keyed by resolved expression and survive where keys
+		// agree. The swap is committed only if the recompile succeeds —
+		// a rejected placement must not take effect on later passes.
+		oldPlace, oldStmts, oldArtSource := c.place, c.stmts, c.artSource
+		c.place = clonePlacement(d.Place)
+		c.stmts = map[string]*stmtArtifact{}
+		defer func() {
+			if err != nil {
+				c.place, c.stmts, c.artSource = oldPlace, oldStmts, oldArtSource
+			}
+		}()
+	}
+	old := c.last
+	var res *Result
+	res, err = c.recompile(pol)
+	if err != nil {
+		return nil, err
+	}
+	c.stats.Updates++
+	return diffResults(old, res), nil
+}
+
+// diffResults builds the device-level delta between two compiled
+// results: the output sections plus the end-host interpreter programs
+// (which live on the Result, not the Output).
+func diffResults(old, new *Result) *Diff {
+	var oldOut *codegen.Output
+	oldPrograms := map[NodeID]*interp.Program{}
+	if old != nil {
+		oldOut = old.Output
+		oldPrograms = old.Programs
+	}
+	d := codegen.DiffOutputs(oldOut, new.Output)
+	d.DiffPrograms(oldPrograms, new.Programs)
+	return d
+}
+
+// applyDelta materializes the policy the delta describes, without
+// touching compiler state.
+func (c *Compiler) applyDelta(d Delta) (*Policy, error) {
+	if len(d.Add) == 0 && len(d.Remove) == 0 {
+		// Formula/placement-only delta: share the statement slice so the
+		// recompile recognizes the statements as identical by identity.
+		pol := &Policy{Statements: c.source.Statements, Formula: c.source.Formula}
+		if d.Formula != nil {
+			pol.Formula = d.Formula
+		}
+		return pol, nil
+	}
+	removed := make(map[string]bool, len(d.Remove))
+	for _, id := range d.Remove {
+		removed[id] = true
+	}
+	pol := &Policy{Formula: c.source.Formula}
+	have := map[string]bool{}
+	for _, s := range c.source.Statements {
+		if removed[s.ID] {
+			delete(removed, s.ID)
+			continue
+		}
+		pol.Statements = append(pol.Statements, s)
+		have[s.ID] = true
+	}
+	for id := range removed {
+		return nil, fmt.Errorf("merlin: Delta removes unknown statement %q", id)
+	}
+	for _, s := range d.Add {
+		if have[s.ID] {
+			return nil, fmt.Errorf("merlin: Delta adds duplicate statement %q", s.ID)
+		}
+		have[s.ID] = true
+		pol.Statements = append(pol.Statements, s)
+	}
+	if d.Formula != nil {
+		pol.Formula = d.Formula
+	}
+	return pol, nil
+}
+
+// recompile runs the staged pipeline over the caches and commits the
+// result. Callers hold c.mu. On error the last successful result and all
+// cache entries (each individually keyed by its inputs) remain valid.
+func (c *Compiler) recompile(pol *Policy) (*Result, error) {
+	res := &Result{
+		Paths:      map[string][]string{},
+		Placements: map[string][]PlacementChoice{},
+		Programs:   map[NodeID]*interp.Program{},
+	}
+	run := &runState{res: res}
+	run.aliased = c.artSource != nil && sameStatementSlice(pol.Statements, c.artSource)
+	if err := c.preprocessStage(pol, run); err != nil {
+		return nil, err
+	}
+	if err := c.statementStage(run); err != nil {
+		return nil, err
+	}
+	c.artSource = pol.Statements
+	if err := c.provisionStage(run); err != nil {
+		return nil, err
+	}
+	if c.patchableCodegen(run) {
+		c.codegenPatch(run)
+	} else {
+		plans, err := c.bestEffortStage(run, c.guaranteedPlans(run))
+		if err != nil {
+			return nil, err
+		}
+		if err := c.codegenFull(run, plans); err != nil {
+			return nil, err
+		}
+	}
+	c.source = pol
+	c.work = run.work
+	c.allocs = run.allocs
+	c.last = res
+	if len(run.requests) == 0 {
+		c.prov = nil
+	}
+	if c.tainted {
+		// The statement set changed this (or a failed earlier) pass:
+		// evict product graphs and sink trees no current statement
+		// references, so policy churn over distinct path expressions
+		// cannot grow the caches without bound. Steady-state ticks skip
+		// the sweep.
+		used := make(map[string]bool, len(run.arts))
+		for _, art := range run.arts {
+			used[art.key] = true
+		}
+		for key := range c.graphs {
+			if !used[key] {
+				delete(c.graphs, key)
+			}
+		}
+		for tk := range c.trees {
+			if !used[tk.key] {
+				delete(c.trees, tk)
+			}
+		}
+		c.tainted = false
+	}
+	order := make([]string, len(run.work.Statements))
+	for i, s := range run.work.Statements {
+		order[i] = s.ID
+	}
+	c.lastOrder = order
+	return res, nil
+}
+
+// sameStatementSlice reports whether two statement slices share the same
+// backing array (and length) — identity, not deep equality.
+func sameStatementSlice(a, b []policy.Statement) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+// Watch binds the compiler to a negotiator: every accepted Propose or
+// Reallocate recompiles the refined policy through the caches — a
+// Reallocate tick that only moves caps takes the patched-codegen fast
+// path and never rebuilds a graph — and hands the device-level diff to
+// onDiff (which may be nil). A compilation error rejects the negotiation,
+// leaving both the negotiator's policy and the compiled state unchanged.
+func (c *Compiler) Watch(n *Negotiator, onDiff func(*Diff)) {
+	n.OnCommit(func(pol *policy.Policy, pathsChanged bool) error {
+		diff, err := c.compileDiff(pol)
+		if err != nil {
+			return err
+		}
+		if onDiff != nil {
+			onDiff(diff)
+		}
+		return nil
+	})
+}
+
+// compileDiff is Compile plus a diff against the previous result, under
+// one lock so concurrent negotiation ticks serialize.
+func (c *Compiler) compileDiff(pol *Policy) (*Diff, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.last
+	res, err := c.recompile(pol)
+	if err != nil {
+		return nil, err
+	}
+	c.stats.Compiles++
+	return diffResults(old, res), nil
+}
+
+func clonePlacement(p Placement) Placement {
+	out := make(Placement, len(p))
+	for fn, locs := range p {
+		out[fn] = append([]string(nil), locs...)
+	}
+	return out
+}

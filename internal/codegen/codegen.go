@@ -430,15 +430,27 @@ func (g *generator) queueFor(sw topo.NodeID, port topo.LinkID, minBps float64) i
 	return q
 }
 
+// CapApplies reports whether a statement cap emits a host-side tc
+// command (finite and nonzero).
+func CapApplies(maxBps float64) bool { return maxBps != 0 && !math.IsInf(maxBps, 1) }
+
+// CapCommand renders the tc command enforcing a statement's bandwidth
+// cap at its source host. It is shared between Generate and the
+// incremental compiler's caps-only patch path so the two stay
+// byte-identical.
+func CapCommand(host topo.NodeID, id string, maxBps float64) HostCommand {
+	return HostCommand{
+		Host: host,
+		Kind: "tc",
+		Command: fmt.Sprintf("tc class add dev eth0 parent 1: classid 1:%s htb rate %.0fkbit ceil %.0fkbit",
+			id, maxBps/1e3, maxBps/1e3),
+	}
+}
+
 // emitHostConfig generates tc caps and iptables markers at the source host.
 func (g *generator) emitHostConfig(p Plan) {
-	if p.Alloc.Max != 0 && !math.IsInf(p.Alloc.Max, 1) {
-		g.out.TC = append(g.out.TC, HostCommand{
-			Host: p.SrcHost,
-			Kind: "tc",
-			Command: fmt.Sprintf("tc class add dev eth0 parent 1: classid 1:%s htb rate %.0fkbit ceil %.0fkbit",
-				p.ID, p.Alloc.Max/1e3, p.Alloc.Max/1e3),
-		})
+	if CapApplies(p.Alloc.Max) {
+		g.out.TC = append(g.out.TC, CapCommand(p.SrcHost, p.ID, p.Alloc.Max))
 	}
 }
 

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestIncrementalSpeedup runs the incremental-vs-full cases (each embeds
+// its own correctness cross-check) and asserts the headline acceptance
+// target with margin: the k=8 single-statement cap change must beat the
+// full recompile by a wide factor. The benchmark reports the real ratio
+// (≈35x unloaded; ≥5x is the acceptance bar, 3x the CI-safe floor under
+// the race detector and noisy neighbors).
+func TestIncrementalSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped in -short")
+	}
+	for _, c := range IncrementalCases() {
+		r, err := IncrementalRun(c)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		t.Logf("%s", r.Format())
+		if c.Name != "fattree-k8-cap-change" {
+			continue
+		}
+		speedup, err := strconv.ParseFloat(r.Values["speedup"], 64)
+		if err != nil {
+			t.Fatalf("%s: bad speedup %q", c.Name, r.Values["speedup"])
+		}
+		if speedup < 3 {
+			t.Errorf("%s: update speedup %.1fx, want >= 3x (acceptance target 5x)", c.Name, speedup)
+		}
+	}
+}

@@ -45,6 +45,11 @@ type Solution struct {
 	Objective float64
 	X         []float64
 	Nodes     int // branch-and-bound nodes explored
+	// Basis is the optimal simplex basis of the incumbent's LP, when the
+	// sparse engine produced one. Passing it back through Params.LP.Warm
+	// warm-starts a re-solve of a same-shape model with modified rates —
+	// the incremental compiler's delta re-provisioning path.
+	Basis *lp.Basis
 }
 
 // Params tune the search.
@@ -241,7 +246,7 @@ func (m *Model) Solve(p Params) Solution {
 		}
 		if branchVar < 0 {
 			// Integral: new incumbent.
-			s := Solution{Status: Optimal, Objective: sol.Objective, X: sol.X}
+			s := Solution{Status: Optimal, Objective: sol.Objective, X: sol.X, Basis: sol.Basis}
 			best = &s
 			continue
 		}

@@ -30,6 +30,24 @@ type Negotiator struct {
 	parent   *Negotiator
 	children map[string]*Negotiator
 	opts     verify.Options
+	onCommit CommitFunc
+}
+
+// CommitFunc observes accepted policy changes. It runs after verification
+// succeeds but before the negotiator's policy is replaced; returning an
+// error vetoes the change, leaving the old policy in place — this is how
+// a driving compiler makes negotiation ticks atomic with recompilation.
+// pathsChanged reports whether any path expression changed (the §4.3
+// global-recompilation trigger); pure bandwidth re-allocations pass false.
+type CommitFunc func(pol *policy.Policy, pathsChanged bool) error
+
+// OnCommit registers fn to observe (and possibly veto) every accepted
+// Propose or Reallocate on this negotiator. fn is called with the
+// negotiator's lock held and must not call back into it.
+func (n *Negotiator) OnCommit(fn CommitFunc) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.onCommit = fn
 }
 
 // NewRoot creates the tree root holding the global policy.
@@ -95,6 +113,11 @@ func (n *Negotiator) Propose(refined *policy.Policy) (recompile bool, err error)
 		return false, rep.Err()
 	}
 	recompile = pathsChanged(n.pol, refined)
+	if n.onCommit != nil {
+		if err := n.onCommit(refined, recompile); err != nil {
+			return false, err
+		}
+	}
 	n.pol = refined
 	return recompile, nil
 }
@@ -132,6 +155,12 @@ func (n *Negotiator) Reallocate(formula policy.Formula) (map[string]policy.Alloc
 	}
 	if !rep.OK() {
 		return nil, rep.Err()
+	}
+	if n.onCommit != nil {
+		// Statements are untouched: a re-allocation never changes paths.
+		if err := n.onCommit(candidate, false); err != nil {
+			return nil, err
+		}
 	}
 	n.pol = candidate
 	return policy.Localize(formula, nil)

@@ -1,0 +1,227 @@
+package negotiate
+
+import (
+	"encoding/json"
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startServer spins up a negotiator server on a loopback listener and
+// returns its address plus a shutdown func.
+func startServer(t *testing.T, capacity float64) (*Server, string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(capacity)
+	done := make(chan struct{})
+	go func() {
+		srv.Serve(ln)
+		close(done)
+	}()
+	return srv, ln.Addr().String(), func() {
+		srv.Close()
+		<-done
+	}
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6*(1+math.Abs(b)) }
+
+// TestProtocolDemandRelease covers the basic wire exchange: a tenant's
+// demand is granted, a second tenant forces a max-min split, and a
+// release returns the capacity.
+func TestProtocolDemandRelease(t *testing.T) {
+	srv, addr, stop := startServer(t, 1000)
+	defer stop()
+
+	c1, err := Dial(addr, "t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	got, err := c1.Demand(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(got, 400) {
+		t.Fatalf("t1 alone: got %v, want 400", got)
+	}
+
+	c2, err := Dial(addr, "t2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	got, err = c2.Demand(800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Max-min over (400, 800) with capacity 1000: t1 keeps 400, t2 gets 600.
+	if !approx(got, 600) {
+		t.Fatalf("t2 with t1@400: got %v, want 600", got)
+	}
+	alloc := srv.Allocations()
+	if !approx(alloc["t1"], 400) || !approx(alloc["t2"], 600) {
+		t.Fatalf("server allocations: %v", alloc)
+	}
+
+	// Releasing t1 frees its share.
+	if err := c1.Release(); err != nil {
+		t.Fatal(err)
+	}
+	got, err = c2.Demand(800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(got, 800) {
+		t.Fatalf("t2 after t1 release: got %v, want 800", got)
+	}
+
+	// A raised demand re-divides immediately.
+	got, err = c2.Demand(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(got, 1000) {
+		t.Fatalf("t2 over capacity: got %v, want 1000", got)
+	}
+}
+
+// TestProtocolErrors covers protocol-level error answers: a demand with
+// no tenant name, and an unknown message type sent raw on the wire.
+func TestProtocolErrors(t *testing.T) {
+	_, addr, stop := startServer(t, 1000)
+	defer stop()
+	c, err := Dial(addr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Demand(100); err == nil {
+		t.Fatal("demand without tenant name accepted")
+	}
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte(`{"type":"bogus"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	var resp Message
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != "error" || !strings.Contains(resp.Detail, "bogus") {
+		t.Fatalf("unknown message type answered %+v", resp)
+	}
+}
+
+// TestProtocolConcurrentTenants hammers the server from many tenants at
+// once: every answer must be a valid max-min share (never exceeding
+// capacity or the tenant's own demand), and once all demands are in, the
+// steady-state division must be the fair share.
+func TestProtocolConcurrentTenants(t *testing.T) {
+	const (
+		capacity = 1000.0
+		tenants  = 8
+		rounds   = 20
+	)
+	srv, addr, stop := startServer(t, capacity)
+	defer stop()
+
+	// Dial every tenant up front and keep the connections open until the
+	// steady state is checked — teardown releases demands.
+	clients := make([]*Client, tenants)
+	for i := range clients {
+		c, err := Dial(addr, "t"+string(rune('a'+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, tenants)
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				demand := 300.0
+				got, err := c.Demand(demand)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got < 0 || got > demand+1e-6 || got > capacity+1e-6 {
+					errs <- &net.AddrError{Err: "allocation out of range", Addr: addr}
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// All eight tenants still connected and demanding 300 against 1000:
+	// fair share is 125 each.
+	alloc := srv.Allocations()
+	if len(alloc) != tenants {
+		t.Fatalf("expected %d live tenants, got %v", tenants, alloc)
+	}
+	for name, bps := range alloc {
+		if !approx(bps, capacity/tenants) {
+			t.Fatalf("tenant %s got %v, want %v", name, bps, capacity/tenants)
+		}
+	}
+}
+
+// TestProtocolConnectionCloseReleases covers teardown semantics: a
+// tenant that disconnects without an explicit release must have its
+// demand dropped server-side.
+func TestProtocolConnectionCloseReleases(t *testing.T) {
+	srv, addr, stop := startServer(t, 1000)
+	defer stop()
+
+	c1, err := Dial(addr, "t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Demand(700); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Dial(addr, "t2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if got, err := c2.Demand(700); err != nil || !approx(got, 500) {
+		t.Fatalf("contended share: got %v, %v", got, err)
+	}
+
+	// Drop t1's connection; the server handler releases its demand.
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if got, err := c2.Demand(700); err != nil {
+			t.Fatal(err)
+		} else if approx(got, 700) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("t1's demand was not released on close: %v", srv.Allocations())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

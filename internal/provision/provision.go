@@ -70,6 +70,13 @@ type Result struct {
 	SolveTime     time.Duration
 	// Nodes is the number of branch-and-bound nodes explored.
 	Nodes int
+	// Basis is the optimal simplex basis of the chosen solution, when the
+	// exact solver produced one. Feeding it back through Params.Warm
+	// warm-starts the next solve after a rate change: the request set and
+	// graphs fix the model's shape, so the old basis installs directly and
+	// the composite phase 1 repairs any rate-induced infeasibility in a
+	// few pivots instead of re-solving from the all-artificial basis.
+	Basis *lp.Basis
 }
 
 // Params tune the solve.
@@ -78,6 +85,10 @@ type Params struct {
 	// HopEpsilon is the tie-breaking cost per physical hop added to every
 	// objective so solutions avoid gratuitous cycles. Zero means default.
 	HopEpsilon float64
+	// Warm, if non-nil, warm-starts the root relaxation from a basis a
+	// previous Solve returned (Result.Basis). It is ignored unless the
+	// model shape matches — same requests over the same product graphs.
+	Warm *lp.Basis
 }
 
 // rateUnit scales bits/s into MIP-friendly magnitudes (Mbps).
@@ -201,7 +212,11 @@ func Solve(t *topo.Topology, reqs []Request, h Heuristic, p Params) (*Result, er
 	construct := time.Since(start)
 
 	solveStart := time.Now()
-	sol := model.Solve(p.MIP)
+	mipParams := p.MIP
+	if p.Warm != nil {
+		mipParams.LP.Warm = p.Warm
+	}
+	sol := model.Solve(mipParams)
 	solveTime := time.Since(solveStart)
 	switch sol.Status {
 	case mip.Optimal:
@@ -218,6 +233,7 @@ func Solve(t *topo.Topology, reqs []Request, h Heuristic, p Params) (*Result, er
 		ConstructTime: construct,
 		SolveTime:     solveTime,
 		Nodes:         sol.Nodes,
+		Basis:         sol.Basis,
 	}
 	for i, r := range reqs {
 		vars := xvars[i]

@@ -6,15 +6,29 @@
 // switch queue reservations, tc/iptables commands, Click middlebox
 // configurations, and end-host interpreter programs.
 //
-// Typical use:
+// Typical one-shot use:
 //
 //	t := merlin.FatTree(4, merlin.Gbps)
 //	pol, _ := merlin.ParsePolicy(src, t)
 //	res, _ := merlin.Compile(pol, t, merlin.Placement{"dpi": {"m1"}}, merlin.Options{})
 //	fmt.Println(res.Counts())
 //
+// Long-running controllers hold a Compiler instead: it caches every
+// expensive artifact (product graphs, sink trees, the provisioning
+// solution and its simplex basis) across calls, so a small policy change
+// recompiles only what it dirtied and yields a device-level diff rather
+// than a full configuration:
+//
+//	c := merlin.NewCompiler(t, place, merlin.Options{})
+//	res, _ := c.Compile(pol)                                  // cold: full pipeline
+//	diff, _ := c.Update(merlin.Delta{Formula: newFormula})    // warm: caps patch / warm-started re-solve
+//	install, remove := diff.Counts()
+//	fmt.Println(install.Total(), remove.Total())
+//
 // Dynamic adaptation (§4 of the paper) is exposed through NewNegotiator,
-// Delegate, Propose, and Reallocate.
+// Delegate, Propose, and Reallocate; Compiler.Watch binds a compiler to a
+// negotiator so every accepted negotiation tick drives an incremental
+// recompile.
 package merlin
 
 import (
