@@ -7,7 +7,7 @@
 // Usage:
 //
 //	merlin-bench -run all
-//	merlin-bench -run fig4,hadoop,fig5,fig6,table7,fig8,fig9,fig10,incremental,ablation
+//	merlin-bench -run fig4,hadoop,fig5,fig6,table7,fig8,fig9,fig10,incremental,sharding,ablation
 //	merlin-bench -run fig6 -zoo-stride 1    # all 262 zoo topologies
 //	merlin-bench -run table7 -json          # also write BENCH_results.json
 package main
@@ -35,7 +35,7 @@ type experimentResult struct {
 
 func main() {
 	var (
-		run       = flag.String("run", "all", "comma-separated experiments: fig4, hadoop, fig5, fig6, table7, fig8, fig9, fig10, incremental, ablation")
+		run       = flag.String("run", "all", "comma-separated experiments: fig4, hadoop, fig5, fig6, table7, fig8, fig9, fig10, incremental, sharding, ablation")
 		zooStride = flag.Int("zoo-stride", 10, "sample every Nth Topology Zoo network for fig6 (1 = all 262)")
 		jsonOut   = flag.Bool("json", false, "write per-experiment wall-clock and phase timings to BENCH_results.json")
 	)
@@ -147,6 +147,8 @@ func main() {
 	})
 	section("incremental", "incremental vs full recompilation (Compiler.Update)",
 		printed(experiments.Incremental))
+	section("sharding", "monolithic vs sharded provisioning (link-disjoint tenants)",
+		printed(experiments.Sharding))
 	section("ablation", "design-choice ablations", func() ([]experiments.Row, error) {
 		fmt.Println("-- path-selection heuristics (Fig. 3) --")
 		rows, err := experiments.AblationHeuristics()

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -82,11 +83,12 @@ func main() {
 			res.Timing.Preprocess, res.Timing.GraphBuild, res.Timing.LPConstruct,
 			res.Timing.LPSolve, res.Timing.Rateless, res.Timing.Codegen)
 	}
-	for id, path := range res.Paths {
-		fmt.Printf("  path %-8s %s\n", id+":", merlin.DescribePath(path))
+	// Maps iterate in random order; sort so runs are diffable.
+	for _, id := range sortedKeys(res.Paths) {
+		fmt.Printf("  path %-8s %s\n", id+":", merlin.DescribePath(res.Paths[id]))
 	}
-	for id, pls := range res.Placements {
-		for _, pl := range pls {
+	for _, id := range sortedKeys(res.Placements) {
+		for _, pl := range res.Placements[id] {
 			fmt.Printf("  place %-7s %s @ %s\n", id+":", pl.Fn, pl.Location)
 		}
 	}
@@ -155,4 +157,14 @@ func parsePlacement(arg string) merlin.Placement {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "merlinc:", err)
 	os.Exit(1)
+}
+
+// sortedKeys returns a map's keys in sorted order, for stable output.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

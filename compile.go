@@ -407,27 +407,28 @@ func (c *Compiler) guaranteedPlans(run *runState) []codegen.Plan {
 }
 
 // solveRequests serves the provisioning solution from cache when the
-// request set is unchanged, warm-starts when only rates changed, and
-// solves cold otherwise. It commits the new provisioning artifact.
+// request set is unchanged, and otherwise re-solves at shard granularity:
+// provision.Solve partitions the requests into link-disjoint shards and
+// the previous result's per-shard solutions (provision.Result.Shards) let
+// it reuse every shard the delta did not touch outright, warm-start
+// rates-only-changed shards from their cached bases, and solve cold only
+// the shards whose membership changed. It commits the new provisioning
+// artifact.
 func (c *Compiler) solveRequests(requests []provision.Request) (sol *provision.Result, reused bool, err error) {
 	cached := c.prov
-	sameShape := cached != nil &&
+	sameInputs := cached != nil &&
 		cached.greedy == c.opts.Greedy &&
 		cached.heuristic == c.opts.Heuristic &&
 		len(cached.ids) == len(requests)
-	sameRates := sameShape
-	if sameShape {
+	if sameInputs {
 		for i, r := range requests {
-			if cached.ids[i] != r.ID || cached.graphs[i] != r.Graph {
-				sameShape, sameRates = false, false
+			if cached.ids[i] != r.ID || cached.graphs[i] != r.Graph || cached.rates[i] != r.MinRate {
+				sameInputs = false
 				break
-			}
-			if cached.rates[i] != r.MinRate {
-				sameRates = false
 			}
 		}
 	}
-	if sameRates {
+	if sameInputs {
 		// Pure cache hit: c.prov already describes these requests.
 		c.stats.SolvesReused++
 		return cached.res, true, nil
@@ -437,18 +438,28 @@ func (c *Compiler) solveRequests(requests []provision.Request) (sol *provision.R
 		sol, err = provision.Greedy(c.t, requests)
 		c.stats.Solves++
 	default:
-		params := provision.Params{MIP: c.opts.MIP}
-		if sameShape && cached.res.Basis != nil {
-			// Rates-only change: same variables and constraints, new
-			// coefficients. The previous optimal basis installs directly
-			// and phase 1 repairs any rate-induced infeasibility in a few
-			// pivots (§4.3's fast re-provisioning path).
-			params.Warm = cached.res.Basis
-			c.stats.WarmSolves++
-		} else {
-			c.stats.Solves++
+		params := provision.Params{MIP: c.opts.MIP, Workers: c.opts.Workers}
+		if cached != nil && !cached.greedy && cached.heuristic == c.opts.Heuristic && cached.res != nil {
+			// Shard-level reuse: unchanged shards are served outright and
+			// rates-only-changed shards re-solve warm-started from their
+			// cached optimal bases (§4.3's fast re-provisioning path, now
+			// per shard).
+			params.Reuse = cached.res.Shards
 		}
 		sol, err = provision.Solve(c.t, requests, c.opts.Heuristic, params)
+		if err == nil {
+			c.stats.ShardsSolved += sol.ShardsSolved
+			c.stats.ShardsWarm += sol.ShardsWarm
+			c.stats.ShardsReused += sol.ShardsReused
+			switch {
+			case sol.ShardsSolved > 0:
+				c.stats.Solves++
+			case sol.ShardsWarm > 0:
+				c.stats.WarmSolves++
+			default:
+				c.stats.SolvesReused++
+			}
+		}
 	}
 	if err != nil {
 		return nil, false, err
@@ -720,8 +731,8 @@ func (c *Compiler) regenerateTC(run *runState) []codegen.HostCommand {
 	var tc []codegen.HostCommand
 	for i := range c.lastPlans {
 		p := &c.lastPlans[i]
-		if max := run.alloc(p.ID).Max; codegen.CapApplies(max) {
-			tc = append(tc, codegen.CapCommand(p.SrcHost, p.ID, max))
+		if capRate := run.alloc(p.ID).Max; codegen.CapApplies(capRate) {
+			tc = append(tc, codegen.CapCommand(p.SrcHost, p.ID, capRate))
 		}
 	}
 	return tc

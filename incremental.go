@@ -126,8 +126,10 @@ type treeArtifact struct {
 }
 
 // provArtifact caches the provisioning inputs and solution. Same inputs →
-// the solution is reused without a solve; same shape with different rates
-// → the model is rebuilt and solved warm-started from res.Basis.
+// the solution is reused without a solve; anything else re-solves at
+// shard granularity, feeding res.Shards back through provision's Reuse so
+// only the shards the change touched are re-solved (rates-only-changed
+// shards warm-start from their cached bases).
 type provArtifact struct {
 	ids       []string
 	graphs    []*logical.Graph
@@ -154,10 +156,20 @@ type CompilerStats struct {
 	GraphBuilds int
 	TreeBuilds  int
 	// Solves, WarmSolves, and SolvesReused split provisioning runs into
-	// cold solves, basis-warm-started re-solves, and cache hits.
+	// runs with at least one cold shard solve, runs whose only work was
+	// basis-warm-started shard re-solves, and pure cache hits.
 	Solves       int
 	WarmSolves   int
 	SolvesReused int
+	// ShardsSolved, ShardsWarm, and ShardsReused count individual shards
+	// across all provisioning runs: cold MIP solves, warm-started
+	// re-solves, and shard solutions reused from the previous run without
+	// a solve. A Delta that touches one tenant of a link-disjoint
+	// multi-tenant policy shows up here as one solved (or warm) shard and
+	// the rest reused.
+	ShardsSolved int
+	ShardsWarm   int
+	ShardsReused int
 	// FullCodegens and PatchedCodegens split phase 4 into full rule
 	// generation and the caps-only tc patch fast path.
 	FullCodegens    int

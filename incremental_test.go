@@ -1,7 +1,9 @@
 package merlin
 
 import (
+	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 
 	"merlin/internal/negotiate"
@@ -385,4 +387,76 @@ func TestCompilerWatchNegotiator(t *testing.T) {
 	if c.Result() != before {
 		t.Fatal("rejected reallocation recompiled")
 	}
+}
+
+// tenantRingPolicy builds a two-tenant policy on an 8-switch ring: each
+// tenant's guarantees are confined by their path expressions to opposite
+// arcs of the ring, so provisioning decomposes into one link-disjoint
+// shard per tenant. bRate is tenant B's guarantee rate.
+func tenantRingPolicy(t *testing.T, tp *Topology, bRate string) *Policy {
+	t.Helper()
+	ids := tp.Identities()
+	mac := func(host string) string {
+		id, _ := ids.Of(tp.MustLookup(host))
+		return id.MAC
+	}
+	arc := func(lo, hi int) string {
+		var names []string
+		for i := lo; i < hi; i++ {
+			names = append(names, fmt.Sprintf("s%d", i), fmt.Sprintf("h%d_0", i))
+		}
+		return "(" + strings.Join(names, "|") + ")*"
+	}
+	src := fmt.Sprintf(`
+[ a0 : (eth.src = %s and eth.dst = %s) -> %s at min(20MB/s)
+  b0 : (eth.src = %s and eth.dst = %s) -> %s at min(%s) ]`,
+		mac("h0_0"), mac("h3_0"), arc(0, 4),
+		mac("h4_0"), mac("h7_0"), arc(4, 8), bRate)
+	pol, err := ParsePolicy(src, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pol
+}
+
+// TestCompilerShardedDeltaResolvesOnlyTouchedShards covers sharding
+// through the incremental layer: with two link-disjoint tenants, a rate
+// change in tenant B warm-starts only B's shard and reuses tenant A's
+// cached solution outright.
+func TestCompilerShardedDeltaResolvesOnlyTouchedShards(t *testing.T) {
+	tp := Ring(8, 1, 100*MBps)
+	pol := tenantRingPolicy(t, tp, "10MB/s")
+	c := NewCompiler(tp, nil, Options{NoDefault: true})
+	if _, err := c.Compile(pol); err != nil {
+		t.Fatal(err)
+	}
+	base := c.Stats()
+	if base.ShardsSolved != 2 {
+		t.Fatalf("base compile solved %d shards, want 2 (one per tenant)", base.ShardsSolved)
+	}
+
+	changed := tenantRingPolicy(t, tp, "30MB/s")
+	if _, err := c.Update(Delta{Formula: changed.Formula}); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.ShardsWarm != base.ShardsWarm+1 {
+		t.Fatalf("tenant B's rate change warm-started %d shards, want 1: %+v", st.ShardsWarm-base.ShardsWarm, st)
+	}
+	if st.ShardsReused != base.ShardsReused+1 {
+		t.Fatalf("tenant A's untouched shard was not reused: %+v", st)
+	}
+	if st.ShardsSolved != base.ShardsSolved {
+		t.Fatalf("rate change solved a shard cold: %+v", st)
+	}
+	if st.WarmSolves != base.WarmSolves+1 {
+		t.Fatalf("warm-only run not counted as a warm solve: %+v", st)
+	}
+	if st.StatementBuilds != base.StatementBuilds || st.AnchoredBuilds != base.AnchoredBuilds {
+		t.Fatalf("rate change rebuilt statement artifacts: %+v -> %+v", base, st)
+	}
+
+	// The incremental result matches a fresh compile of the same policy.
+	newPol := &Policy{Statements: pol.Statements, Formula: changed.Formula}
+	sameCompiled(t, "sharded-rate-change", c.Result(), newPol, tp, nil, Options{NoDefault: true})
 }

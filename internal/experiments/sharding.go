@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"merlin/internal/logical"
+	"merlin/internal/provision"
+	"merlin/internal/regex"
+	"merlin/internal/topo"
+)
+
+// ShardingCase is one monolithic-vs-sharded provisioning measurement: a
+// multi-tenant workload whose tenants' path expressions confine them to
+// link-disjoint slices of the fabric, so the global MIP decomposes into
+// one shard per tenant.
+type ShardingCase struct {
+	Name string
+	K    int // fat-tree arity; one tenant per pod
+	// GuaranteesPerTenant is the number of intra-pod guarantees each
+	// tenant requests.
+	GuaranteesPerTenant int
+}
+
+// ShardingCases returns the measured workloads. The headline case is the
+// acceptance target: a k=8 fat tree with one tenant per pod, where the
+// sharded solve must beat the monolithic one by ≥4x.
+func ShardingCases() []ShardingCase {
+	return []ShardingCase{
+		{Name: "fattree-k8-multitenant", K: 8, GuaranteesPerTenant: 4},
+	}
+}
+
+// podNames lists the switch and host names of fat-tree pod p (arity k):
+// the pod's aggregation and edge switches and its hosts — everything an
+// intra-pod path may traverse without touching the shared core.
+func podNames(k, p int) []string {
+	half := k / 2
+	var names []string
+	for i := 0; i < half; i++ {
+		names = append(names, fmt.Sprintf("agg%d_%d", p, i), fmt.Sprintf("edge%d_%d", p, i))
+		for h := 0; h < half; h++ {
+			names = append(names, fmt.Sprintf("h%d_%d_%d", p, i, h))
+		}
+	}
+	return names
+}
+
+// tenantRequests builds the per-pod tenants' guarantee requests: tenant p
+// asks for n guarantees between deterministic host pairs inside pod p,
+// each confined to the pod by the path expression (podNodes)*.
+func tenantRequests(t *topo.Topology, k, n int) ([]provision.Request, error) {
+	alpha := logical.Alphabet(t)
+	half := k / 2
+	var reqs []provision.Request
+	for p := 0; p < k; p++ {
+		names := podNames(k, p)
+		syms := make([]regex.Expr, len(names))
+		for i, nm := range names {
+			syms[i] = regex.Sym{Name: nm}
+		}
+		expr := regex.Star{X: regex.AltAll(syms...)}
+		for g := 0; g < n; g++ {
+			se, sh := g%half, (g/half)%half
+			de, dh := (g+1)%half, (g+2)%half
+			src := fmt.Sprintf("h%d_%d_%d", p, se, sh)
+			dst := fmt.Sprintf("h%d_%d_%d", p, de, dh)
+			if src == dst {
+				dh = (dh + 1) % half
+				dst = fmt.Sprintf("h%d_%d_%d", p, de, dh)
+			}
+			graph, err := logical.BuildAnchored(t, expr, alpha, src, dst)
+			if err != nil {
+				return nil, fmt.Errorf("tenant %d guarantee %d: %w", p, g, err)
+			}
+			reqs = append(reqs, provision.Request{
+				ID:      fmt.Sprintf("t%dg%d", p, g),
+				Graph:   graph,
+				MinRate: float64(10+5*g) * topo.Mbps,
+			})
+		}
+	}
+	return reqs, nil
+}
+
+// Sharding measures each case: the wall-clock of the monolithic solve
+// versus the sharded solve over the worker pool, cross-checking that the
+// two agree on the weighted-shortest-path objective and produce valid
+// allocations.
+func Sharding() ([]Row, error) {
+	var rows []Row
+	for _, c := range ShardingCases() {
+		r, err := ShardingRun(c)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.Name, err)
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// ShardingRun measures one case.
+func ShardingRun(c ShardingCase) (Row, error) {
+	t := topo.FatTree(c.K, topo.Gbps)
+	reqs, err := tenantRequests(t, c.K, c.GuaranteesPerTenant)
+	if err != nil {
+		return Row{}, err
+	}
+
+	monoStart := time.Now()
+	mono, err := provision.Solve(t, reqs, provision.WeightedShortestPath, provision.Params{NoShard: true})
+	if err != nil {
+		return Row{}, fmt.Errorf("monolithic solve: %w", err)
+	}
+	monoMS := ms(time.Since(monoStart))
+
+	shardStart := time.Now()
+	sharded, err := provision.Solve(t, reqs, provision.WeightedShortestPath, provision.Params{})
+	if err != nil {
+		return Row{}, fmt.Errorf("sharded solve: %w", err)
+	}
+	shardMS := ms(time.Since(shardStart))
+
+	// Equivalence: the weighted-shortest-path objective is a sum over
+	// requests, so the merged sharded optimum must match the monolithic
+	// one; both allocations must fit capacity.
+	objDelta := 0.0
+	for _, r := range reqs {
+		mh := float64(len(logical.Locations(mono.Paths[r.ID])) - 1)
+		sh := float64(len(logical.Locations(sharded.Paths[r.ID])) - 1)
+		objDelta += (r.MinRate/topo.Mbps + 1e-4) * (sh - mh)
+	}
+	if math.Abs(objDelta) > 1e-6 {
+		return Row{}, fmt.Errorf("sharded objective diverges from monolithic by %g", objDelta)
+	}
+	if err := mono.Validate(t); err != nil {
+		return Row{}, err
+	}
+	if err := sharded.Validate(t); err != nil {
+		return Row{}, err
+	}
+	if len(sharded.Shards) != c.K {
+		return Row{}, fmt.Errorf("expected %d link-disjoint shards, got %d", c.K, len(sharded.Shards))
+	}
+
+	speedup := 0.0
+	if shardMS > 0 {
+		speedup = monoMS / shardMS
+	}
+	return row(c.Name,
+		"requests", fmt.Sprint(len(reqs)),
+		"shards", fmt.Sprint(len(sharded.Shards)),
+		"monolithic_ms", fmt.Sprintf("%.1f", monoMS),
+		"sharded_ms", fmt.Sprintf("%.1f", shardMS),
+		"speedup", fmt.Sprintf("%.1f", speedup),
+		"mono_nodes", fmt.Sprint(mono.Nodes),
+		"sharded_nodes", fmt.Sprint(sharded.Nodes),
+	), nil
+}

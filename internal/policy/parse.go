@@ -69,13 +69,6 @@ func (p *parser) expect(k tokKind) (token, error) {
 	return t, nil
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // reserved words that cannot be statement identifiers or locations.
 var reserved = map[string]bool{
 	"and": true, "or": true, "max": true, "min": true, "at": true,

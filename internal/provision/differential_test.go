@@ -1,0 +1,401 @@
+package provision
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"merlin/internal/logical"
+	"merlin/internal/regex"
+	"merlin/internal/topo"
+)
+
+// The differential fuzz harness: a seeded, deterministic generator of
+// random topologies (fat trees, rings, grid meshes, stars, Waxman random
+// graphs — the Topology Zoo families) and random request sets, asserting
+// that the sharded and monolithic provision.Solve agree on feasibility,
+// objective, and per-link allocations. Failures log the case's seed, so
+// any divergence replays exactly with genCase(seed).
+//
+// The comparison is per heuristic, matching what decomposition provably
+// preserves:
+//   - WeightedShortestPath: the objective is a sum over requests, so the
+//     sharded total must equal the monolithic total to 1e-6; the
+//     tie-break perturbations in buildModel make the optimum generically
+//     unique, so per-link allocations must also match to 1e-6 except
+//     when two routes' perturbation sums collide below the solver's
+//     tolerances (~1% of cases empirically, bounded at 5%).
+//   - MinMaxRatio / MinMaxReserved: the objective is a max over links,
+//     which link-disjointness reduces to the bottleneck shard; RMax and
+//     RMaxBits must agree to 1e-6 (relative). Below the bottleneck the
+//     two formulations legitimately differ — a non-bottleneck shard
+//     minimizes its own local maximum, which the monolithic objective
+//     ignores — so per-link divergence is allowed there, bounded at 10%
+//     and always re-checked for validity and objective equality.
+// Counting both divergence classes keeps the harness sharp: a sharder
+// that merges, drops, or double-books reservations diverges on most
+// cases and trips the bounds long before the objective check could miss
+// it.
+
+// diffCase is one generated instance.
+type diffCase struct {
+	name string
+	t    *topo.Topology
+	reqs []Request
+	h    Heuristic
+}
+
+// hostsOf lists host node names of a topology.
+func hostsOf(t *topo.Topology) []string {
+	hs := t.Hosts()
+	out := make([]string, len(hs))
+	for i, h := range hs {
+		out[i] = t.Node(h).Name
+	}
+	return out
+}
+
+// groupNames returns the node names (switches + their hosts) of a switch
+// index range in a topology whose switch i is named sw(i) and host h(i).
+func ringGroup(lo, hi int) []string {
+	var names []string
+	for i := lo; i < hi; i++ {
+		names = append(names, switchName(i), hostName(i))
+	}
+	return names
+}
+
+// genCase deterministically builds the instance for a seed.
+func genCase(tb testing.TB, seed int64) diffCase {
+	rng := rand.New(rand.NewSource(seed))
+	h := Heuristic(rng.Intn(3))
+	family := rng.Intn(5)
+	var (
+		tp   *topo.Topology
+		reqs []Request
+		name string
+	)
+	switch family {
+	case 0:
+		name = "fattree"
+		tp, reqs = genFatTree(tb, rng)
+	case 1:
+		name = "ring"
+		tp, reqs = genRing(tb, rng)
+	case 2:
+		name = "grid"
+		tp, reqs = genGrid(tb, rng)
+	case 3:
+		name = "star"
+		tp, reqs = genStar(tb, rng)
+	default:
+		name = "waxman"
+		tp, reqs = genWaxman(tb, rng, seed)
+	}
+	return diffCase{name: name, t: tp, reqs: reqs, h: h}
+}
+
+// rate draws a guarantee: zero sometimes (a pure path constraint), else
+// 10–40 MB/s against 100 MB/s links so capacity occasionally binds.
+func drawRate(rng *rand.Rand) float64 {
+	if rng.Intn(5) == 0 {
+		return 0
+	}
+	return float64(10+10*rng.Intn(4)) * topo.MBps
+}
+
+// restrictedReq builds a request confined to names; `.*` when names nil.
+func restrictedReq(tb testing.TB, tp *topo.Topology, alpha *regex.Alphabet, id string, names []string, src, dst string, rate float64) Request {
+	tb.Helper()
+	var expr regex.Expr = regex.Star{X: regex.Any{}}
+	if names != nil {
+		expr = arcExpr(names)
+	}
+	g, err := logical.BuildAnchored(tp, expr, alpha, src, dst)
+	if err != nil {
+		tb.Fatalf("%s: %v", id, err)
+	}
+	return Request{ID: id, Graph: g, MinRate: rate}
+}
+
+// genFatTree builds a k=4 fat tree with tenants per pod. Some requests
+// are confined to their pod (link-disjoint across pods); occasionally a
+// free `.*` request couples everything — the fallback path.
+func genFatTree(tb testing.TB, rng *rand.Rand) (*topo.Topology, []Request) {
+	tp := topo.FatTree(4, 100*topo.MBps)
+	alpha := logical.Alphabet(tp)
+	pod := func(p int) []string {
+		names := []string{}
+		for i := 0; i < 2; i++ {
+			names = append(names, fmt.Sprintf("agg%d_%d", p, i), fmt.Sprintf("edge%d_%d", p, i))
+			for h := 0; h < 2; h++ {
+				names = append(names, fmt.Sprintf("h%d_%d_%d", p, i, h))
+			}
+		}
+		return names
+	}
+	n := 3 + rng.Intn(4)
+	var reqs []Request
+	for i := 0; i < n; i++ {
+		p := rng.Intn(4)
+		hostsInPod := []string{}
+		for e := 0; e < 2; e++ {
+			for h := 0; h < 2; h++ {
+				hostsInPod = append(hostsInPod, fmt.Sprintf("h%d_%d_%d", p, e, h))
+			}
+		}
+		src := hostsInPod[rng.Intn(len(hostsInPod))]
+		dst := hostsInPod[rng.Intn(len(hostsInPod))]
+		for dst == src {
+			dst = hostsInPod[rng.Intn(len(hostsInPod))]
+		}
+		names := pod(p)
+		if rng.Intn(6) == 0 {
+			names = nil // free-roaming request: couples pods via the core
+		}
+		reqs = append(reqs, restrictedReq(tb, tp, alpha, fmt.Sprintf("r%d", i), names, src, dst, drawRate(rng)))
+	}
+	return tp, reqs
+}
+
+// genRing splits a ring into two or three contiguous arcs (tenants).
+func genRing(tb testing.TB, rng *rand.Rand) (*topo.Topology, []Request) {
+	n := 8 + 2*rng.Intn(4) // 8..14 switches
+	tp := topo.Ring(n, 1, 100*topo.MBps)
+	alpha := logical.Alphabet(tp)
+	arcs := [][2]int{{0, n / 2}, {n / 2, n}}
+	if rng.Intn(2) == 0 && n >= 9 {
+		third := n / 3
+		arcs = [][2]int{{0, third}, {third, 2 * third}, {2 * third, n}}
+	}
+	cnt := 2 + rng.Intn(5)
+	var reqs []Request
+	for i := 0; i < cnt; i++ {
+		a := arcs[rng.Intn(len(arcs))]
+		lo, hi := a[0], a[1]
+		si := lo + rng.Intn(hi-lo)
+		di := lo + rng.Intn(hi-lo)
+		for di == si {
+			di = lo + rng.Intn(hi-lo)
+		}
+		reqs = append(reqs, restrictedReq(tb, tp, alpha, fmt.Sprintf("r%d", i),
+			ringGroup(lo, hi), hostName(si), hostName(di), drawRate(rng)))
+	}
+	return tp, reqs
+}
+
+// genGrid builds a rows×cols grid mesh with a host per switch; tenants
+// are confined to row bands.
+func genGrid(tb testing.TB, rng *rand.Rand) (*topo.Topology, []Request) {
+	rows, cols := 4, 3+rng.Intn(3)
+	tp := topo.New()
+	sw := make([][]topo.NodeID, rows)
+	for r := 0; r < rows; r++ {
+		sw[r] = make([]topo.NodeID, cols)
+		for c := 0; c < cols; c++ {
+			sw[r][c] = tp.AddSwitch(fmt.Sprintf("g%d_%d", r, c))
+			host := tp.AddHost(fmt.Sprintf("gh%d_%d", r, c))
+			tp.AddLink(sw[r][c], host, 100*topo.MBps)
+			if c > 0 {
+				tp.AddLink(sw[r][c-1], sw[r][c], 100*topo.MBps)
+			}
+			if r > 0 {
+				tp.AddLink(sw[r-1][c], sw[r][c], 100*topo.MBps)
+			}
+		}
+	}
+	band := func(lo, hi int) []string {
+		var names []string
+		for r := lo; r < hi; r++ {
+			for c := 0; c < cols; c++ {
+				names = append(names, fmt.Sprintf("g%d_%d", r, c), fmt.Sprintf("gh%d_%d", r, c))
+			}
+		}
+		return names
+	}
+	alpha := logical.Alphabet(tp)
+	bands := [][2]int{{0, 2}, {2, 4}}
+	cnt := 2 + rng.Intn(4)
+	var reqs []Request
+	for i := 0; i < cnt; i++ {
+		b := bands[rng.Intn(len(bands))]
+		pick := func() [2]int { return [2]int{b[0] + rng.Intn(b[1]-b[0]), rng.Intn(cols)} }
+		s, d := pick(), pick()
+		for d == s {
+			d = pick()
+		}
+		reqs = append(reqs, restrictedReq(tb, tp, alpha, fmt.Sprintf("r%d", i),
+			band(b[0], b[1]), fmt.Sprintf("gh%d_%d", s[0], s[1]), fmt.Sprintf("gh%d_%d", d[0], d[1]), drawRate(rng)))
+	}
+	return tp, reqs
+}
+
+// genStar builds a hub-and-spoke network: every path crosses the hub, so
+// rated requests always couple into one shard — the fallback path, plus
+// zero-rate singletons.
+func genStar(tb testing.TB, rng *rand.Rand) (*topo.Topology, []Request) {
+	tp := topo.Star(4+rng.Intn(4), 1, 100*topo.MBps)
+	alpha := logical.Alphabet(tp)
+	hosts := hostsOf(tp)
+	cnt := 2 + rng.Intn(4)
+	var reqs []Request
+	for i := 0; i < cnt; i++ {
+		src := hosts[rng.Intn(len(hosts))]
+		dst := hosts[rng.Intn(len(hosts))]
+		for dst == src {
+			dst = hosts[rng.Intn(len(hosts))]
+		}
+		reqs = append(reqs, restrictedReq(tb, tp, alpha, fmt.Sprintf("r%d", i), nil, src, dst, drawRate(rng)))
+	}
+	return tp, reqs
+}
+
+// genWaxman builds a random operator-style mesh with hosts on every
+// switch and unconstrained paths.
+func genWaxman(tb testing.TB, rng *rand.Rand, seed int64) (*topo.Topology, []Request) {
+	n := 8 + rng.Intn(8)
+	tp := topo.Waxman(n, 0.4, 0.25, seed, 100*topo.MBps)
+	for i, sw := range tp.Switches() {
+		host := tp.AddHost(fmt.Sprintf("wh%d", i))
+		tp.AddLink(sw, host, 100*topo.MBps)
+	}
+	alpha := logical.Alphabet(tp)
+	hosts := hostsOf(tp)
+	cnt := 2 + rng.Intn(4)
+	var reqs []Request
+	for i := 0; i < cnt; i++ {
+		src := hosts[rng.Intn(len(hosts))]
+		dst := hosts[rng.Intn(len(hosts))]
+		for dst == src {
+			dst = hosts[rng.Intn(len(hosts))]
+		}
+		reqs = append(reqs, restrictedReq(tb, tp, alpha, fmt.Sprintf("r%d", i), nil, src, dst, drawRate(rng)))
+	}
+	return tp, reqs
+}
+
+// wspObjective recomputes the weighted-shortest-path objective from a
+// decoded result: Σ_i (rate_i/rateUnit + eps) · hops_i, exactly the MIP's
+// cost over the chosen link edges.
+func wspObjective(res *Result, reqs []Request, eps float64) float64 {
+	obj := 0.0
+	for _, r := range reqs {
+		hops := len(logical.Locations(res.Paths[r.ID])) - 1
+		obj += (r.MinRate/rateUnit + eps) * float64(hops)
+	}
+	return obj
+}
+
+// objectiveOf evaluates the heuristic's decisive scalar on a result.
+func objectiveOf(h Heuristic, res *Result, reqs []Request) float64 {
+	switch h {
+	case MinMaxRatio:
+		return res.RMax
+	case MinMaxReserved:
+		return res.RMaxBits
+	default:
+		return wspObjective(res, reqs, 1e-4)
+	}
+}
+
+// closeTo compares with 1e-6 tolerance, relative for large magnitudes
+// (RMaxBits is in bits/s).
+func closeTo(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-6*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// sameAllocations reports whether two results reserve the same bandwidth
+// on every link to 1e-6.
+func sameAllocations(a, b *Result) bool {
+	links := map[topo.LinkID]bool{}
+	for l := range a.Reserved {
+		links[l] = true
+	}
+	for l := range b.Reserved {
+		links[l] = true
+	}
+	for l := range links {
+		if !closeTo(a.Reserved[l], b.Reserved[l]) {
+			return false
+		}
+	}
+	return true
+}
+
+// runDifferential executes n seeded cases starting at seed0 and fails on
+// the first divergence, logging the seed.
+func runDifferential(t *testing.T, seed0 int64, n int) {
+	wspDiffs, minmaxDiffs := 0, 0
+	shardedCases := 0
+	for i := 0; i < n; i++ {
+		seed := seed0 + int64(i)
+		c := genCase(t, seed)
+		label := fmt.Sprintf("seed %d (%s, %v, %d reqs)", seed, c.name, c.h, len(c.reqs))
+
+		sharded, errS := Solve(c.t, c.reqs, c.h, Params{Workers: 2})
+		mono, errM := Solve(c.t, c.reqs, c.h, Params{NoShard: true})
+
+		// Feasibility must agree.
+		if (errS == nil) != (errM == nil) {
+			t.Fatalf("%s: feasibility diverges: sharded err=%v, monolithic err=%v", label, errS, errM)
+		}
+		if errS != nil {
+			continue
+		}
+		if len(sharded.Shards) > 1 {
+			shardedCases++
+		}
+		// Every request decoded a path in both.
+		for _, r := range c.reqs {
+			if len(sharded.Paths[r.ID]) == 0 || len(mono.Paths[r.ID]) == 0 {
+				t.Fatalf("%s: request %s lost its path (sharded %d steps, monolithic %d)",
+					label, r.ID, len(sharded.Paths[r.ID]), len(mono.Paths[r.ID]))
+			}
+		}
+		// Both allocations fit capacity.
+		if err := sharded.Validate(c.t); err != nil {
+			t.Fatalf("%s: sharded allocation invalid: %v", label, err)
+		}
+		if err := mono.Validate(c.t); err != nil {
+			t.Fatalf("%s: monolithic allocation invalid: %v", label, err)
+		}
+		// Objective must agree to 1e-6.
+		objS, objM := objectiveOf(c.h, sharded, c.reqs), objectiveOf(c.h, mono, c.reqs)
+		if !closeTo(objS, objM) {
+			t.Fatalf("%s: objective diverges: sharded %.9f, monolithic %.9f", label, objS, objM)
+		}
+		// Per-link allocations: strict (modulo rare perturbation
+		// collisions) for the separable WSP objective; the min-max
+		// objectives additionally allow below-bottleneck freedom. Both
+		// divergence classes are already objective-equal and valid here.
+		if !sameAllocations(sharded, mono) {
+			if c.h == WeightedShortestPath {
+				wspDiffs++
+			} else {
+				minmaxDiffs++
+			}
+		}
+	}
+	if shardedCases == 0 {
+		t.Fatal("generator produced no multi-shard case; the harness is not exercising decomposition")
+	}
+	if wspDiffs > n/20 {
+		t.Fatalf("WSP per-link allocations diverged on %d/%d cases — beyond tie-break collision noise", wspDiffs, n)
+	}
+	if minmaxDiffs > n/10 {
+		t.Fatalf("min-max per-link allocations diverged on %d/%d cases — beyond below-bottleneck freedom", minmaxDiffs, n)
+	}
+	t.Logf("differential: %d cases, %d multi-shard, %d wsp / %d min-max allocation diffs",
+		n, shardedCases, wspDiffs, minmaxDiffs)
+}
+
+// TestDifferentialShardedVsMonolithic is the acceptance harness: ≥200
+// seeded cases across five topology families and all three heuristics.
+func TestDifferentialShardedVsMonolithic(t *testing.T) {
+	n := 220
+	if testing.Short() {
+		n = 40
+	}
+	runDifferential(t, 424200, n)
+}

@@ -65,18 +65,31 @@ type Result struct {
 	// r_max), and RMaxBits the maximum absolute reservation (R_max).
 	RMax     float64
 	RMaxBits float64
-	// ConstructTime and SolveTime split the Table 7 cost columns.
+	// ConstructTime and SolveTime split the Table 7 cost columns. For a
+	// sharded solve they are summed across shards — the work performed,
+	// which exceeds wall-clock when shards solve in parallel; time the
+	// Solve call itself for wall-clock comparisons.
 	ConstructTime time.Duration
 	SolveTime     time.Duration
-	// Nodes is the number of branch-and-bound nodes explored.
+	// Nodes is the number of branch-and-bound nodes this call explored
+	// (shard solutions served from Params.Reuse contribute nothing).
 	Nodes int
 	// Basis is the optimal simplex basis of the chosen solution, when the
-	// exact solver produced one. Feeding it back through Params.Warm
-	// warm-starts the next solve after a rate change: the request set and
-	// graphs fix the model's shape, so the old basis installs directly and
-	// the composite phase 1 repairs any rate-induced infeasibility in a
-	// few pivots instead of re-solving from the all-artificial basis.
+	// exact solver produced one and the problem solved as a single shard.
+	// Feeding it back through Params.Warm warm-starts the next solve after
+	// a rate change: the request set and graphs fix the model's shape, so
+	// the old basis installs directly and the composite phase 1 repairs
+	// any rate-induced infeasibility in a few pivots instead of re-solving
+	// from the all-artificial basis.
 	Basis *lp.Basis
+	// Shards holds the per-shard solutions this solve produced (a single
+	// entry for a monolithic solve). Feed them back through Params.Reuse
+	// so a later Solve re-solves only the shards whose requests changed.
+	Shards []*ShardSolution
+	// ShardsSolved, ShardsWarm, and ShardsReused split the shards of this
+	// call into cold solves, basis-warm-started re-solves, and solutions
+	// served from Params.Reuse without a solve.
+	ShardsSolved, ShardsWarm, ShardsReused int
 }
 
 // Params tune the solve.
@@ -87,47 +100,81 @@ type Params struct {
 	HopEpsilon float64
 	// Warm, if non-nil, warm-starts the root relaxation from a basis a
 	// previous Solve returned (Result.Basis). It is ignored unless the
-	// model shape matches — same requests over the same product graphs.
+	// model shape matches — same requests over the same product graphs —
+	// and applies only to single-shard (monolithic) solves; use Reuse for
+	// per-shard warm starts.
 	Warm *lp.Basis
+	// NoShard forces the monolithic solve even when the statement↔link
+	// incidence decomposes into independent shards.
+	NoShard bool
+	// Workers bounds the worker pool independent shards solve over. Zero
+	// means runtime.NumCPU(); 1 forces the sequential path. The merged
+	// result is identical for every pool size.
+	Workers int
+	// Reuse offers the shard solutions of a previous Solve over the same
+	// topology and heuristic (Result.Shards). A shard whose requests,
+	// product graphs, and rates are unchanged is served from it without a
+	// solve; one whose rates alone changed re-solves warm-started from the
+	// shard's cached basis.
+	Reuse []*ShardSolution
 }
 
 // rateUnit scales bits/s into MIP-friendly magnitudes (Mbps).
 const rateUnit = 1e6
 
-// Solve provisions all requests jointly on the topology using the given
-// heuristic. Every request's graph must be built against t.
+// Solve provisions all requests on the topology using the given
+// heuristic. Every request's graph must be built against t. The problem
+// is first partitioned into link-disjoint shards (see Partition); each
+// shard solves as an independent MIP over a worker pool and the per-shard
+// optima merge into one Result. A fully-coupled problem — one shard — or
+// Params.NoShard takes the monolithic path unchanged.
 func Solve(t *topo.Topology, reqs []Request, h Heuristic, p Params) (*Result, error) {
-	start := time.Now()
 	eps := p.HopEpsilon
 	if eps == 0 {
 		eps = 1e-4
 	}
+	var comps [][]int
+	if p.NoShard {
+		all := make([]int, len(reqs))
+		for i := range all {
+			all[i] = i
+		}
+		comps = [][]int{all}
+	} else {
+		comps = Partition(t, reqs)
+	}
+	if len(comps) == 0 {
+		return &Result{
+			Paths:    map[string][]logical.Step{},
+			Reserved: map[topo.LinkID]float64{},
+		}, nil
+	}
+	return solveComponents(t, reqs, comps, h, p, eps)
+}
+
+// builtModel is one constructed provisioning MIP plus the per-request
+// edge-variable indices needed to decode its solution.
+type builtModel struct {
+	model *mip.Model
+	xvars [][]int
+}
+
+// buildModel encodes the requests into the MIP of §3.2 (equations 1–5)
+// under the given heuristic.
+func buildModel(t *topo.Topology, reqs []Request, h Heuristic, eps float64) *builtModel {
 	model := mip.NewModel()
 
-	// Canonical cable: the lower of the two directed link IDs.
-	cable := func(l topo.LinkID) topo.LinkID {
-		r := t.Link(l).Reverse
-		if r < l {
-			return r
-		}
-		return l
-	}
+	// Cable canonicalization must agree with Partition's, or two shards
+	// could silently share a capacity the model never couples.
+	cable := func(l topo.LinkID) topo.LinkID { return cableOf(t, l) }
 	// x variables per request edge.
-	type edgeVar struct {
-		req  int
-		edge int
-	}
 	xvars := make([][]int, len(reqs))
-	var varMeta []edgeVar
 	for i, r := range reqs {
 		xvars[i] = make([]int, len(r.Graph.Edges))
 		for e := range r.Graph.Edges {
-			v := model.AddBinVar(0, fmt.Sprintf("x_%s_%d", r.ID, e))
-			xvars[i][e] = v
-			varMeta = append(varMeta, edgeVar{i, e})
+			xvars[i][e] = model.AddBinVar(0, fmt.Sprintf("x_%s_%d", r.ID, e))
 		}
 	}
-	_ = varMeta
 	// Flow conservation (eq. 1) per product vertex with incident edges.
 	for i, r := range reqs {
 		g := r.Graph
@@ -190,13 +237,26 @@ func Solve(t *topo.Topology, reqs []Request, h Heuristic, p Params) (*Result, er
 		// eq. 4: Rmax >= ruv * cuv (in rate units)
 		model.AddConstraint([]lp.Term{{Var: rmaxBits, Coeff: 1}, {Var: ruv, Coeff: -(capBits / rateUnit)}}, lp.GE, 0, "Rmax")
 	}
-	// Objective.
+	// Objective. Each edge's hop cost carries a deterministic tie-breaking
+	// perturbation derived only from the request ID and the edge's index
+	// in its own product graph, so it is identical whether the request is
+	// modeled inside the monolithic MIP or its shard's. Under the
+	// separable WeightedShortestPath objective that makes the optimum
+	// generically unique, so sharded and monolithic solves choose the
+	// same vertex and the differential harness can compare allocations
+	// link by link. (The min-max objectives retain a documented freedom:
+	// a non-bottleneck shard minimizes its own local maximum, which the
+	// monolithic objective ignores, so below-bottleneck routing may
+	// legitimately differ.) The perturbation is bounded by eps/100 per
+	// edge, so it can never outweigh a hop: path choice is unchanged
+	// except among paths the unperturbed objective cannot tell apart.
 	for i, r := range reqs {
+		jitter := idJitter(r.ID)
 		for e, ed := range r.Graph.Edges {
 			if ed.Link < 0 {
 				continue
 			}
-			cost := eps
+			cost := eps * (1 + tieBreak(jitter, e))
 			if h == WeightedShortestPath {
 				cost += r.MinRate / rateUnit
 			}
@@ -209,43 +269,31 @@ func Solve(t *topo.Topology, reqs []Request, h Heuristic, p Params) (*Result, er
 	case MinMaxReserved:
 		model.SetCost(rmaxBits, 1)
 	}
-	construct := time.Since(start)
+	return &builtModel{model: model, xvars: xvars}
+}
 
-	solveStart := time.Now()
-	mipParams := p.MIP
-	if p.Warm != nil {
-		mipParams.LP.Warm = p.Warm
+// idJitter hashes a request ID into [0, 1) (FNV-1a), seeding that
+// request's tie-breaking perturbations. Distinct requests sharing one
+// product graph get distinct perturbations, breaking swap symmetries.
+func idJitter(id string) float64 {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
 	}
-	sol := model.Solve(mipParams)
-	solveTime := time.Since(solveStart)
-	switch sol.Status {
-	case mip.Optimal:
-		// proceed
-	case mip.Infeasible:
-		return nil, fmt.Errorf("provision: no assignment satisfies the path and bandwidth constraints")
-	default:
-		return nil, fmt.Errorf("provision: solver stopped with status %v", sol.Status)
-	}
+	return float64(h) / float64(1<<32)
+}
 
-	res := &Result{
-		Paths:         make(map[string][]logical.Step, len(reqs)),
-		Reserved:      map[topo.LinkID]float64{},
-		ConstructTime: construct,
-		SolveTime:     solveTime,
-		Nodes:         sol.Nodes,
-		Basis:         sol.Basis,
-	}
-	for i, r := range reqs {
-		vars := xvars[i]
-		steps, err := r.Graph.ExtractPath(func(e int) bool { return sol.X[vars[e]] > 0.5 })
-		if err != nil {
-			return nil, fmt.Errorf("provision: decoding %s: %w", r.ID, err)
-		}
-		res.Paths[r.ID] = steps
-		addReservations(t, res.Reserved, steps, r.MinRate)
-	}
-	res.RMax, res.RMaxBits = reservedStats(t, res.Reserved)
-	return res, nil
+// tieBreak maps (request jitter, edge index) to [0, 1e-2): a low-
+// discrepancy sequence keyed by the golden ratio, cheap and collision-
+// resistant enough that two distinct paths virtually never tie. The band
+// is sized so per-path sums stay below one hop's cost for paths under a
+// hundred edges (keeping hop counts exact) while path-choice differences
+// stay well above the solver's 1e-9 tolerances.
+func tieBreak(jitter float64, e int) float64 {
+	const phi = 0.6180339887498949
+	x := jitter + float64(e+1)*phi
+	return 1e-2 * (x - math.Floor(x))
 }
 
 func negate(ts []lp.Term) []lp.Term {

@@ -163,13 +163,6 @@ func attachHosts(t *topo.Topology, perSwitch int) {
 	}
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // Stats summarizes the synthetic distribution, for documentation and the
 // substitution-fidelity test.
 func Stats() (mean, sd float64, largest int) {

@@ -13,11 +13,19 @@
 //	res, _ := merlin.Compile(pol, t, merlin.Placement{"dpi": {"m1"}}, merlin.Options{})
 //	fmt.Println(res.Counts())
 //
+// Provisioning shards automatically: guarantees whose product graphs
+// share no physical link — disjoint tenants, disjoint pods, localized
+// sub-policies — solve as independent MIPs over a worker pool and merge
+// into one equally-optimal result, falling back to the single global MIP
+// when the policy is fully coupled (see internal/provision.Partition and
+// PERFORMANCE.md's "Sharded provisioning").
+//
 // Long-running controllers hold a Compiler instead: it caches every
-// expensive artifact (product graphs, sink trees, the provisioning
-// solution and its simplex basis) across calls, so a small policy change
-// recompiles only what it dirtied and yields a device-level diff rather
-// than a full configuration:
+// expensive artifact (product graphs, sink trees, the per-shard
+// provisioning solutions and their simplex bases) across calls, so a
+// small policy change recompiles only what it dirtied — re-solving only
+// the provisioning shards the change touched — and yields a device-level
+// diff rather than a full configuration:
 //
 //	c := merlin.NewCompiler(t, place, merlin.Options{})
 //	res, _ := c.Compile(pol)                                  // cold: full pipeline

@@ -1,0 +1,56 @@
+package merlin
+
+import (
+	"fmt"
+	"testing"
+
+	"merlin/internal/zoo"
+)
+
+// TestZooCompileSmoke compiles a two-statement policy — one bandwidth
+// guarantee plus one plain path constraint — across every topology of
+// the synthetic Topology Zoo (the paper's Fig. 6 sweep, two statements
+// instead of all pairs). It is a breadth test: every structural family
+// (rings, stars, trees, meshes, Waxman graphs) at every size must parse,
+// provision, and generate code without error.
+func TestZooCompileSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles all 262 zoo topologies; skipped in -short")
+	}
+	for _, e := range zoo.Entries() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			tp := zoo.Generate(e.Index, 2)
+			hosts := tp.Hosts()
+			if len(hosts) < 2 {
+				t.Fatalf("%s: only %d hosts", e.Name, len(hosts))
+			}
+			ids := tp.Identities()
+			a, _ := ids.Of(hosts[0])
+			b, _ := ids.Of(hosts[len(hosts)-1])
+			src := fmt.Sprintf(`
+[ g : (eth.src = %s and eth.dst = %s) -> .* at min(5Mbps)
+  p : (eth.src = %s and eth.dst = %s) -> .* ]`, a.MAC, b.MAC, b.MAC, a.MAC)
+			pol, err := ParsePolicy(src, tp)
+			if err != nil {
+				t.Fatalf("%s: parse: %v", e.Name, err)
+			}
+			// The sweep is a breadth test; the largest networks provision
+			// with the greedy allocator so the exact-MIP cost on 100+
+			// switch graphs does not dominate the suite (the MIP path
+			// still runs on the ~200 smaller topologies).
+			opts := Options{NoDefault: true, Greedy: e.Switches > 100}
+			res, err := Compile(pol, tp, nil, opts)
+			if err != nil {
+				t.Fatalf("%s (%s, %d switches): compile: %v", e.Name, e.Family, e.Switches, err)
+			}
+			if len(res.Paths["g"]) < 2 {
+				t.Fatalf("%s: guarantee got degenerate path %v", e.Name, res.Paths["g"])
+			}
+			if res.Counts().OpenFlow == 0 {
+				t.Fatalf("%s: no forwarding rules generated", e.Name)
+			}
+		})
+	}
+}
