@@ -7,9 +7,19 @@
 // Usage:
 //
 //	merlin-bench -run all
-//	merlin-bench -run fig4,hadoop,fig5,fig6,table7,fig8,fig9,fig10,incremental,sharding,ablation
+//	merlin-bench -run fig4,hadoop,fig5,fig6,table7,fig8,fig9,fig10,incremental,sharding,failover,ablation
 //	merlin-bench -run fig6 -zoo-stride 1    # all 262 zoo topologies
 //	merlin-bench -run table7 -json          # also write BENCH_results.json
+//	merlin-bench -check -tolerance 0.25     # gate BENCH_results.json against BENCH_baseline.json
+//
+// -check is the CI perf-regression gate: it compares every speedup
+// recorded in the results (table7's dense/sparse LP ratio, incremental,
+// sharding, failover) against the committed baseline floors and exits
+// non-zero when any regresses past the tolerance. Run standalone it reads
+// BENCH_results.json from a previous -json run and gates the full
+// baseline; combined with -run it checks the freshly measured results,
+// gating only the baseline experiments the -run selection covers (so
+// `-run failover -check` does not fail over the un-run experiments).
 package main
 
 import (
@@ -23,30 +33,37 @@ import (
 	"merlin/internal/experiments"
 )
 
-// experimentResult is one experiment's machine-readable record: wall-clock
-// plus the printed rows, whose values carry the per-phase timings (e.g.
-// table7's lp_construct_ms / lp_solve_ms / rateless_ms split).
-type experimentResult struct {
-	Name   string            `json:"name"`
-	Title  string            `json:"title"`
-	WallMS float64           `json:"wall_ms"`
-	Rows   []experiments.Row `json:"rows,omitempty"`
-}
+const resultsPath = "BENCH_results.json"
 
 func main() {
 	var (
-		run       = flag.String("run", "all", "comma-separated experiments: fig4, hadoop, fig5, fig6, table7, fig8, fig9, fig10, incremental, sharding, ablation")
+		run       = flag.String("run", "", "comma-separated experiments: fig4, hadoop, fig5, fig6, table7, fig8, fig9, fig10, incremental, sharding, failover, ablation (default \"all\", or none with -check)")
 		zooStride = flag.Int("zoo-stride", 10, "sample every Nth Topology Zoo network for fig6 (1 = all 262)")
-		jsonOut   = flag.Bool("json", false, "write per-experiment wall-clock and phase timings to BENCH_results.json")
+		jsonOut   = flag.Bool("json", false, "write per-experiment wall-clock and phase timings to "+resultsPath)
+		check     = flag.Bool("check", false, "compare recorded speedups against -baseline and exit non-zero on regression")
+		tolerance = flag.Float64("tolerance", 0.25, "allowed relative speedup regression before -check fails (0.25 = 25%)")
+		baseline  = flag.String("baseline", "BENCH_baseline.json", "baseline file for -check")
 	)
 	flag.Parse()
+	// Default to running everything unless this is a pure check (-check
+	// with neither -run nor -json): -json with nothing selected would
+	// otherwise clobber the results file with an empty measurement set.
+	if *run == "" && (*jsonOut || !*check) {
+		*run = "all"
+	}
+	if *check && (*tolerance < 0 || *tolerance >= 1) {
+		fmt.Fprintf(os.Stderr, "merlin-bench: -tolerance %g out of range [0, 1): 1-tolerance scales the baseline floors, so >= 1 disables the gate\n", *tolerance)
+		os.Exit(2)
+	}
 	want := map[string]bool{}
 	for _, name := range strings.Split(*run, ",") {
-		want[strings.TrimSpace(name)] = true
+		if name = strings.TrimSpace(name); name != "" {
+			want[name] = true
+		}
 	}
 	all := want["all"]
 	ran := 0
-	var results []experimentResult
+	var results []experiments.BenchExperiment
 	printRows := func(rows []experiments.Row) []experiments.Row {
 		for _, r := range rows {
 			fmt.Println(r.Format())
@@ -67,7 +84,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "merlin-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		results = append(results, experimentResult{
+		results = append(results, experiments.BenchExperiment{
 			Name:   name,
 			Title:  title,
 			WallMS: float64(elapsed.Microseconds()) / 1000,
@@ -93,7 +110,9 @@ func main() {
 	section("table7", "fat-tree provisioning cost split (Fig. 7 table)", func() ([]experiments.Row, error) {
 		var rows []experiments.Row
 		for _, c := range experiments.Table7Cases() {
-			r, err := experiments.Table7(c)
+			// The comparison run also records the dense/sparse LP speedup
+			// the -check regression gate guards.
+			r, err := experiments.Table7Compare(c)
 			if err != nil {
 				return nil, err
 			}
@@ -149,6 +168,8 @@ func main() {
 		printed(experiments.Incremental))
 	section("sharding", "monolithic vs sharded provisioning (link-disjoint tenants)",
 		printed(experiments.Sharding))
+	section("failover", "link-failure recovery vs cold recompile (topology dynamics)",
+		printed(experiments.Failover))
 	section("ablation", "design-choice ablations", func() ([]experiments.Row, error) {
 		fmt.Println("-- path-selection heuristics (Fig. 3) --")
 		rows, err := experiments.AblationHeuristics()
@@ -175,24 +196,62 @@ func main() {
 		}
 		return append(rows, printRows(rs)...), nil
 	})
-	if ran == 0 {
+	// An explicit -run that selects nothing is an error even under -check:
+	// silently falling back to a stale BENCH_results.json would let a
+	// typo'd selection green-light numbers that were never measured.
+	if ran == 0 && *run != "" {
 		fmt.Fprintf(os.Stderr, "merlin-bench: nothing selected by -run %q\n", *run)
 		os.Exit(2)
 	}
 	if *jsonOut {
-		payload := struct {
-			GeneratedAt time.Time          `json:"generated_at"`
-			Experiments []experimentResult `json:"experiments"`
-		}{GeneratedAt: time.Now().UTC(), Experiments: results}
+		payload := experiments.BenchFile{GeneratedAt: time.Now().UTC(), Experiments: results}
 		data, err := json.MarshalIndent(payload, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "merlin-bench: marshaling results: %v\n", err)
 			os.Exit(1)
 		}
-		if err := os.WriteFile("BENCH_results.json", append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "merlin-bench: writing BENCH_results.json: %v\n", err)
+		if err := os.WriteFile(resultsPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "merlin-bench: writing %s: %v\n", resultsPath, err)
 			os.Exit(1)
 		}
-		fmt.Printf("\nwrote BENCH_results.json (%d experiments)\n", len(results))
+		fmt.Printf("\nwrote %s (%d experiments)\n", resultsPath, len(results))
+	}
+	if *check {
+		measured := &experiments.BenchFile{Experiments: results}
+		if ran == 0 {
+			var err error
+			measured, err = experiments.LoadBenchFile(resultsPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "merlin-bench: -check needs a previous -json run: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		base, err := experiments.LoadBenchFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "merlin-bench: loading baseline: %v\n", err)
+			os.Exit(1)
+		}
+		if ran > 0 && !all {
+			// A combined `-run <subset> -check` gates only what it
+			// measured; un-run baseline experiments are not "missing".
+			// The standalone check (CI's) still gates the full baseline.
+			kept := base.Experiments[:0]
+			for _, e := range base.Experiments {
+				if want[e.Name] {
+					kept = append(kept, e)
+				}
+			}
+			base.Experiments = kept
+		}
+		regressions := experiments.CheckRegressions(measured, base, *tolerance)
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "merlin-bench: %d speedup regression(s) past %.0f%% tolerance:\n",
+				len(regressions), *tolerance*100)
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("regression check passed: every recorded speedup within %.0f%% of baseline\n", *tolerance*100)
 	}
 }

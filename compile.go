@@ -416,7 +416,11 @@ func (c *Compiler) guaranteedPlans(run *runState) []codegen.Plan {
 // artifact.
 func (c *Compiler) solveRequests(requests []provision.Request) (sol *provision.Result, reused bool, err error) {
 	cached := c.prov
-	sameInputs := cached != nil &&
+	// Topology events since the last pass (len(c.dirtyCables) > 0) bypass
+	// the identity fast path: the cached solution was computed against
+	// different capacities or connectivity, so shard-level reuse below must
+	// re-examine cable incidence even for an unchanged request set.
+	sameInputs := cached != nil && len(c.dirtyCables) == 0 &&
 		cached.greedy == c.opts.Greedy &&
 		cached.heuristic == c.opts.Heuristic &&
 		len(cached.ids) == len(requests)
@@ -443,8 +447,11 @@ func (c *Compiler) solveRequests(requests []provision.Request) (sol *provision.R
 			// Shard-level reuse: unchanged shards are served outright and
 			// rates-only-changed shards re-solve warm-started from their
 			// cached optimal bases (§4.3's fast re-provisioning path, now
-			// per shard).
+			// per shard). Shards incident to a dirty cable (capacity
+			// changed, link failed or restored) are excluded from outright
+			// reuse and re-solve warm where the basis survives.
 			params.Reuse = cached.res.Shards
+			params.Dirty = c.dirtyCables
 		}
 		sol, err = provision.Solve(c.t, requests, c.opts.Heuristic, params)
 		if err == nil {

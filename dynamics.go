@@ -1,0 +1,287 @@
+package merlin
+
+import (
+	"errors"
+	"fmt"
+
+	"merlin/internal/logical"
+	"merlin/internal/topo"
+)
+
+// TopoEventKind classifies a topology event.
+type TopoEventKind int
+
+// Topology event kinds. Down events remove connectivity, Up events restore
+// it, and SetCapacity re-dimensions a cable without touching the graph
+// structure.
+const (
+	LinkDown TopoEventKind = iota
+	LinkUp
+	SwitchDown
+	SwitchUp
+	SetCapacity
+)
+
+// String returns the event kind's name.
+func (k TopoEventKind) String() string {
+	switch k {
+	case LinkDown:
+		return "link-down"
+	case LinkUp:
+		return "link-up"
+	case SwitchDown:
+		return "switch-down"
+	case SwitchUp:
+		return "switch-up"
+	case SetCapacity:
+		return "set-capacity"
+	default:
+		return fmt.Sprintf("topo-event(%d)", int(k))
+	}
+}
+
+// TopoEvent is one topology change — the §6 dynamic-adaptation events a
+// long-running controller receives from its failure detector. Unlike
+// policy deltas, topology events are facts about the world: Update applies
+// them (and invalidates the caches they stale) even when the rest of the
+// delta is rejected, so a failed recompile never resurrects a dead link.
+type TopoEvent struct {
+	Kind TopoEventKind
+	// A and B name the cable's endpoints for LinkDown/LinkUp/SetCapacity;
+	// A alone names the element for SwitchDown/SwitchUp (any node kind is
+	// accepted — failing a host models a dead server).
+	A, B string
+	// Capacity is the new per-direction capacity in bits/s (SetCapacity).
+	Capacity float64
+}
+
+// Event constructors, for readable call sites.
+
+// LinkFailure fails the cable between two named nodes.
+func LinkFailure(a, b string) TopoEvent { return TopoEvent{Kind: LinkDown, A: a, B: b} }
+
+// LinkRecovery restores the cable between two named nodes.
+func LinkRecovery(a, b string) TopoEvent { return TopoEvent{Kind: LinkUp, A: a, B: b} }
+
+// SwitchFailure fails a named node and every incident link.
+func SwitchFailure(name string) TopoEvent { return TopoEvent{Kind: SwitchDown, A: name} }
+
+// SwitchRecovery restores a named node (links failed independently stay down).
+func SwitchRecovery(name string) TopoEvent { return TopoEvent{Kind: SwitchUp, A: name} }
+
+// CapacityChange sets the cable between two named nodes to a new
+// per-direction capacity.
+func CapacityChange(a, b string, capacity float64) TopoEvent {
+	return TopoEvent{Kind: SetCapacity, A: a, B: b, Capacity: capacity}
+}
+
+// ApplyTopo applies topology events and incrementally recompiles, exactly
+// like Update(Delta{Topo: events}): the device-level diff is the reroute —
+// the rules to install and remove so traffic avoids failed elements (or
+// reclaims restored ones).
+func (c *Compiler) ApplyTopo(events ...TopoEvent) (*Diff, error) {
+	return c.Update(Delta{Topo: events})
+}
+
+// WatchTopo consumes topology events — a controller's failure-detector
+// stream — until the channel closes, applying each batch through Update
+// and handing the reroute diff to onDiff (which may be nil). Events
+// already queued when one arrives are coalesced into a single recompile.
+// Errors (a malformed event, a failure that makes a guarantee
+// unsatisfiable) are reported to onErr (which may be nil) and the loop
+// continues; an applied topology mutation is never rolled back. Because
+// Update validates a batch all-or-nothing, a rejected multi-event batch
+// is retried one event at a time, so one malformed event cannot discard
+// the valid failures coalesced alongside it — those remain facts and are
+// applied, each yielding its own diff. Updates serialize with concurrent
+// negotiation ticks (Watch) on the compiler's lock. The returned channel
+// closes when the event channel does.
+func (c *Compiler) WatchTopo(events <-chan TopoEvent, onDiff func(*Diff), onErr func(error)) <-chan struct{} {
+	done := make(chan struct{})
+	apply := func(batch []TopoEvent) {
+		diff, err := c.Update(Delta{Topo: batch})
+		if err == nil {
+			if onDiff != nil {
+				onDiff(diff)
+			}
+			return
+		}
+		var ve *topoEventError
+		if len(batch) > 1 && errors.As(err, &ve) {
+			// The batch was rejected up front by a malformed event, before
+			// anything mutated; the rest are still facts. Re-apply
+			// individually. (A post-apply recompile failure takes the plain
+			// error path instead: the events already stuck, so per-event
+			// retries would only repeat the same failing recompile.)
+			for _, ev := range batch {
+				if diff, err := c.Update(Delta{Topo: []TopoEvent{ev}}); err != nil {
+					if onErr != nil {
+						onErr(err)
+					}
+				} else if onDiff != nil {
+					onDiff(diff)
+				}
+			}
+			return
+		}
+		if onErr != nil {
+			onErr(err)
+		}
+	}
+	go func() {
+		defer close(done)
+		for ev := range events {
+			batch := []TopoEvent{ev}
+		drain:
+			for {
+				select {
+				case next, ok := <-events:
+					if !ok {
+						break drain
+					}
+					batch = append(batch, next)
+				default:
+					break drain
+				}
+			}
+			apply(batch)
+		}
+	}()
+	return done
+}
+
+// topoEventError marks a batch rejected during up-front validation —
+// before any mutation — so WatchTopo can distinguish "nothing was
+// applied, retry the valid events individually" from "the events stuck
+// but the recompile failed".
+type topoEventError struct{ err error }
+
+func (e *topoEventError) Error() string { return e.err.Error() }
+func (e *topoEventError) Unwrap() error { return e.err }
+
+// applyTopoEvents validates all events, applies them to the bound
+// topology, and invalidates every cached artifact the mutations can have
+// staled. Callers hold c.mu. Validation happens up front so a bad event
+// in a batch rejects the whole batch before anything mutates; once
+// application starts it cannot fail.
+//
+// Invalidation policy, per event:
+//
+//   - SetCapacity: graph structure is intact, so no artifact is dropped;
+//     the cable lands in the dirty set and provisioning re-solves exactly
+//     the shards whose product graphs can ride it, warm-started from
+//     their cached bases (the model shape is unchanged).
+//   - LinkDown/SwitchDown: anchored per-statement product graphs are
+//     invalidated selectively — only those with an edge riding an
+//     affected cable; everything else still describes the degraded
+//     topology exactly. Minimized best-effort graphs and sink trees are
+//     dropped wholesale (the alphabet-generation treatment: they are
+//     cheap relative to re-proving which of them the failure reaches).
+//     Shard-local re-provisioning follows from the graph identity checks:
+//     rebuilt graphs force a cold shard solve, untouched shards are
+//     served from the previous solution.
+//   - LinkUp/SwitchUp: restored connectivity can add edges to any product
+//     graph, including graphs built before the failure, so every
+//     automaton-derived artifact and the provisioning solution are
+//     dropped. The recovery tick pays near-full-compile cost once — the
+//     same asymmetry as an alphabet-growing delta — and returns to
+//     incremental speed.
+func (c *Compiler) applyTopoEvents(events []TopoEvent) error {
+	type resolved struct {
+		ev   TopoEvent
+		a, b topo.NodeID
+	}
+	rs := make([]resolved, len(events))
+	for i, ev := range events {
+		a, ok := c.t.Lookup(ev.A)
+		if !ok {
+			return &topoEventError{fmt.Errorf("merlin: topology event %d (%s): unknown node %q", i, ev.Kind, ev.A)}
+		}
+		r := resolved{ev: ev, a: a}
+		switch ev.Kind {
+		case LinkDown, LinkUp, SetCapacity:
+			b, ok := c.t.Lookup(ev.B)
+			if !ok {
+				return &topoEventError{fmt.Errorf("merlin: topology event %d (%s): unknown node %q", i, ev.Kind, ev.B)}
+			}
+			if _, ok := c.t.CableBetween(a, b); !ok {
+				return &topoEventError{fmt.Errorf("merlin: topology event %d (%s): no link between %q and %q", i, ev.Kind, ev.A, ev.B)}
+			}
+			if ev.Kind == SetCapacity && ev.Capacity <= 0 {
+				return &topoEventError{fmt.Errorf("merlin: topology event %d: capacity must be positive, got %g", i, ev.Capacity)}
+			}
+			r.b = b
+		case SwitchDown, SwitchUp:
+		default:
+			return &topoEventError{fmt.Errorf("merlin: topology event %d: unknown kind %d", i, int(ev.Kind))}
+		}
+		rs[i] = r
+	}
+	for _, r := range rs {
+		var im topo.Impact
+		var err error
+		up := false
+		switch r.ev.Kind {
+		case LinkDown, LinkUp:
+			up = r.ev.Kind == LinkUp
+			im, err = c.t.SetLinkState(r.a, r.b, up)
+		case SwitchDown, SwitchUp:
+			up = r.ev.Kind == SwitchUp
+			im, err = c.t.SetNodeState(r.a, up)
+		case SetCapacity:
+			im, err = c.t.SetCableCapacity(r.a, r.b, r.ev.Capacity)
+		}
+		if err != nil {
+			// Defensive: validation above should have caught everything.
+			return fmt.Errorf("merlin: topology event (%s): %w", r.ev.Kind, err)
+		}
+		c.stats.TopoEvents++
+		if len(im.Cables) == 0 && !im.ConnectivityChanged {
+			continue // no-op (element already in the requested state)
+		}
+		if c.dirtyCables == nil {
+			c.dirtyCables = map[topo.LinkID]bool{}
+		}
+		for _, cb := range im.Cables {
+			c.dirtyCables[cb] = true
+		}
+		if !im.ConnectivityChanged {
+			continue
+		}
+		c.tainted = true
+		if up {
+			for _, art := range c.stmts {
+				if art.anchored != nil {
+					art.anchored = nil
+					c.stats.AnchoredInvalidated++
+				}
+			}
+			c.prov = nil
+		} else {
+			cables := make(map[topo.LinkID]bool, len(im.Cables))
+			for _, cb := range im.Cables {
+				cables[cb] = true
+			}
+			for _, art := range c.stmts {
+				if art.anchored != nil && graphCrossesCables(c.t, art.anchored, cables) {
+					art.anchored = nil
+					c.stats.AnchoredInvalidated++
+				}
+			}
+		}
+		c.graphs = map[string]*graphArtifact{}
+		c.trees = map[treeKey]*treeArtifact{}
+	}
+	return nil
+}
+
+// graphCrossesCables reports whether any edge of the product graph rides
+// one of the given physical cables.
+func graphCrossesCables(t *Topology, g *logical.Graph, cables map[topo.LinkID]bool) bool {
+	for i := range g.Edges {
+		if l := g.Edges[i].Link; l >= 0 && cables[t.Cable(l)] {
+			return true
+		}
+	}
+	return false
+}

@@ -81,6 +81,15 @@ type Compiler struct {
 	graphs map[string]*graphArtifact
 	trees  map[treeKey]*treeArtifact
 	prov   *provArtifact
+	// dirtyCables accumulates the canonical cable IDs touched by topology
+	// events (failures, recoveries, capacity changes) since the last
+	// successful provisioning pass. While non-empty, the provisioning
+	// cache's identity fast path is bypassed and shard reuse additionally
+	// checks cable incidence against this set (provision.Params.Dirty), so
+	// a capacity change re-solves exactly the shards that can ride the
+	// re-dimensioned cable. A failed pass retains the set — stale shard
+	// solutions must not be served by a retry.
+	dirtyCables map[topo.LinkID]bool
 	// tainted records that the statement cache changed (artifact rebuilt
 	// or pruned) since the last successful pass. A failed pass leaves it
 	// set, so a retry cannot take the codegen patch path against a
@@ -174,11 +183,21 @@ type CompilerStats struct {
 	// generation and the caps-only tc patch fast path.
 	FullCodegens    int
 	PatchedCodegens int
+	// TopoEvents counts applied topology events (Delta.Topo / ApplyTopo);
+	// AnchoredInvalidated counts the per-statement anchored product graphs
+	// those events evicted — for a link failure, only the statements whose
+	// graphs crossed the failed cable.
+	TopoEvents          int
+	AnchoredInvalidated int
 }
 
 // NewCompiler creates an incremental compiler bound to a topology,
-// function placement table, and options. The topology must not be
-// mutated afterwards; placements change via Delta.Place.
+// function placement table, and options. After construction the topology
+// must only change through the compiler: placements via Delta.Place,
+// link/switch failures, recoveries, and capacity changes via Delta.Topo
+// (or ApplyTopo/WatchTopo), which invalidate exactly the caches each
+// event stales. Mutating the topology behind the compiler's back leaves
+// the caches describing a network that no longer exists.
 func NewCompiler(t *Topology, place Placement, opts Options) *Compiler {
 	return &Compiler{
 		t:      t,
@@ -237,6 +256,14 @@ type Delta struct {
 	// substitution happens during path-expression resolution, so this
 	// invalidates every per-statement artifact.
 	Place Placement
+	// Topo lists topology events — link/switch failures and recoveries,
+	// capacity changes — to apply before recompiling. Events are facts,
+	// not proposals: they are applied (and the caches they stale
+	// invalidated) even if the rest of the delta is rejected, so a failed
+	// recompile never leaves the compiler believing in a dead link. The
+	// bound topology must only be mutated through this path (or ApplyTopo);
+	// mutating it directly leaves the caches stale.
+	Topo []TopoEvent
 }
 
 // Update applies a delta to the current policy, recompiles only the
@@ -248,6 +275,11 @@ func (c *Compiler) Update(d Delta) (*Diff, error) {
 	defer c.mu.Unlock()
 	if c.source == nil {
 		return nil, fmt.Errorf("merlin: Compiler.Update called before the first Compile")
+	}
+	if len(d.Topo) > 0 {
+		if err := c.applyTopoEvents(d.Topo); err != nil {
+			return nil, err
+		}
 	}
 	pol, err := c.applyDelta(d)
 	if err != nil {
@@ -356,6 +388,11 @@ func (c *Compiler) recompile(pol *Policy) (*Result, error) {
 	if err := c.provisionStage(run); err != nil {
 		return nil, err
 	}
+	// The provisioning pass consumed the topology-event dirty set: the new
+	// (or revalidated) solution reflects current capacities and
+	// connectivity. A failed pass keeps the set, so a retry cannot serve
+	// stale shard solutions.
+	c.dirtyCables = nil
 	if c.patchableCodegen(run) {
 		c.codegenPatch(run)
 	} else {

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// BenchExperiment is one experiment's machine-readable record — the shape
+// merlin-bench writes to BENCH_results.json: wall-clock plus the printed
+// rows, whose values carry per-phase timings and speedup ratios.
+type BenchExperiment struct {
+	Name   string  `json:"name"`
+	Title  string  `json:"title"`
+	WallMS float64 `json:"wall_ms"`
+	Rows   []Row   `json:"rows,omitempty"`
+}
+
+// BenchFile is the BENCH_results.json / BENCH_baseline.json schema.
+type BenchFile struct {
+	GeneratedAt time.Time         `json:"generated_at"`
+	Experiments []BenchExperiment `json:"experiments"`
+}
+
+// LoadBenchFile reads a results or baseline file.
+func LoadBenchFile(path string) (*BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f BenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// CheckRegressions is the CI perf-regression gate: it compares every
+// speedup the baseline records against the measured results and reports a
+// regression when a measured speedup falls more than tolerance below its
+// baseline floor (measured < floor × (1 − tolerance)), or when a
+// baseline-covered experiment, row, or speedup is missing from the
+// results — a silently dropped benchmark must not pass the gate.
+//
+// Only "speedup" values are compared: they are same-machine ratios
+// (monolithic/sharded, full/incremental, cold/failover, dense/sparse), so
+// they transfer across runner generations in a way absolute milliseconds
+// do not. The committed baseline carries conservative floors rather than
+// raw measurements — see PERFORMANCE.md's "Regression gate" — and the
+// tolerance absorbs residual scheduler noise on loaded runners.
+//
+// The returned slice is empty when nothing regressed.
+func CheckRegressions(results, baseline *BenchFile, tolerance float64) []string {
+	var regressions []string
+	measured := map[string]map[string]Row{}
+	for _, e := range results.Experiments {
+		rows := map[string]Row{}
+		for _, r := range e.Rows {
+			rows[r.Label] = r
+		}
+		measured[e.Name] = rows
+	}
+	for _, be := range baseline.Experiments {
+		rows, ok := measured[be.Name]
+		if !ok {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: experiment missing from results", be.Name))
+			continue
+		}
+		for _, br := range be.Rows {
+			floorStr, ok := br.Values["speedup"]
+			if !ok {
+				continue // baseline row carries no gated metric
+			}
+			floor, err := strconv.ParseFloat(floorStr, 64)
+			if err != nil {
+				regressions = append(regressions,
+					fmt.Sprintf("%s/%s: bad baseline speedup %q", be.Name, br.Label, floorStr))
+				continue
+			}
+			mr, ok := rows[br.Label]
+			if !ok {
+				regressions = append(regressions,
+					fmt.Sprintf("%s/%s: row missing from results", be.Name, br.Label))
+				continue
+			}
+			gotStr, ok := mr.Values["speedup"]
+			if !ok {
+				regressions = append(regressions,
+					fmt.Sprintf("%s/%s: no speedup recorded", be.Name, br.Label))
+				continue
+			}
+			got, err := strconv.ParseFloat(gotStr, 64)
+			if err != nil {
+				regressions = append(regressions,
+					fmt.Sprintf("%s/%s: bad measured speedup %q", be.Name, br.Label, gotStr))
+				continue
+			}
+			if bar := floor * (1 - tolerance); got < bar {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s/%s: speedup %.2fx regressed below %.2fx (baseline %.2fx − %.0f%% tolerance)",
+					be.Name, br.Label, got, bar, floor, tolerance*100))
+			}
+		}
+	}
+	sort.Strings(regressions)
+	return regressions
+}

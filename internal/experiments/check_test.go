@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func benchFile(exps ...BenchExperiment) *BenchFile { return &BenchFile{Experiments: exps} }
+
+func speedupRow(label, speedup string) Row {
+	return row(label, "speedup", speedup)
+}
+
+func TestCheckRegressionsPasses(t *testing.T) {
+	base := benchFile(
+		BenchExperiment{Name: "sharding", Rows: []Row{speedupRow("k8", "20")}},
+		BenchExperiment{Name: "failover", Rows: []Row{speedupRow("k8", "6.7")}},
+	)
+	got := benchFile(
+		BenchExperiment{Name: "sharding", Rows: []Row{speedupRow("k8", "53.4")}},
+		BenchExperiment{Name: "failover", Rows: []Row{speedupRow("k8", "7.9")}},
+	)
+	if regs := CheckRegressions(got, base, 0.25); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	// Within tolerance: 20 × (1−0.25) = 15, measured 15.1 passes.
+	got.Experiments[0].Rows[0] = speedupRow("k8", "15.1")
+	if regs := CheckRegressions(got, base, 0.25); len(regs) != 0 {
+		t.Fatalf("within-tolerance dip flagged: %v", regs)
+	}
+}
+
+func TestCheckRegressionsFlagsDrop(t *testing.T) {
+	base := benchFile(BenchExperiment{Name: "incremental", Rows: []Row{
+		speedupRow("cap-change", "8"),
+		speedupRow("rate-change", "4"),
+	}})
+	got := benchFile(BenchExperiment{Name: "incremental", Rows: []Row{
+		speedupRow("cap-change", "5.9"), // below 8 × 0.75 = 6
+		speedupRow("rate-change", "4.2"),
+	}})
+	regs := CheckRegressions(got, base, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "cap-change") {
+		t.Fatalf("want exactly the cap-change regression, got %v", regs)
+	}
+}
+
+func TestCheckRegressionsFlagsMissing(t *testing.T) {
+	base := benchFile(
+		BenchExperiment{Name: "sharding", Rows: []Row{speedupRow("k8", "20")}},
+		BenchExperiment{Name: "failover", Rows: []Row{speedupRow("k8", "6.7")}},
+	)
+	// Dropped experiment, dropped row, and dropped metric all fail the
+	// gate — a silently deleted benchmark must not pass.
+	got := benchFile(BenchExperiment{Name: "sharding", Rows: []Row{row("k8", "monolithic_ms", "100")}})
+	regs := CheckRegressions(got, base, 0.25)
+	if len(regs) != 2 {
+		t.Fatalf("want 2 regressions (missing experiment + missing metric), got %v", regs)
+	}
+	// Rows without a speedup in the baseline are not gated.
+	base.Experiments[0].Rows = []Row{row("k8", "monolithic_ms", "90")}
+	base.Experiments = base.Experiments[:1]
+	if regs := CheckRegressions(got, base, 0.25); len(regs) != 0 {
+		t.Fatalf("ungated row flagged: %v", regs)
+	}
+}
+
+// TestCommittedBaselineCoversAcceptance pins the committed baseline file:
+// it must parse, and it must gate every experiment the issue names —
+// table7, incremental, sharding, and failover — with the failover floor
+// high enough that the ≥5x acceptance bar survives the default tolerance.
+func TestCommittedBaselineCoversAcceptance(t *testing.T) {
+	base, err := LoadBenchFile(filepath.Join("..", "..", "BENCH_baseline.json"))
+	if err != nil {
+		t.Fatalf("committed baseline: %v", err)
+	}
+	gated := map[string]int{}
+	for _, e := range base.Experiments {
+		for _, r := range e.Rows {
+			if _, ok := r.Values["speedup"]; ok {
+				gated[e.Name]++
+			}
+		}
+	}
+	for _, name := range []string{"table7", "incremental", "sharding", "failover"} {
+		if gated[name] == 0 {
+			t.Errorf("baseline gates no %s speedup", name)
+		}
+	}
+	for _, e := range base.Experiments {
+		if e.Name != "failover" {
+			continue
+		}
+		for _, r := range e.Rows {
+			var floor float64
+			if _, err := fmt.Sscan(r.Values["speedup"], &floor); err != nil {
+				t.Fatalf("failover baseline speedup %q: %v", r.Values["speedup"], err)
+			}
+			if bar := floor * 0.75; bar < 5 {
+				t.Errorf("failover floor %.2f × 0.75 = %.2f lets sub-5x recovery pass the gate", floor, bar)
+			}
+		}
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"time"
 
+	"merlin/internal/lp"
+	"merlin/internal/mip"
 	"merlin/internal/negotiate"
 	"merlin/internal/policy"
 	"merlin/internal/pred"
@@ -267,12 +269,10 @@ func Table7Cases() []Table7Case {
 	}
 }
 
-// Table7 runs one sweep case: all-pairs traffic classes with the given
-// number of them guaranteed, reporting the paper's table columns.
-func Table7(c Table7Case) (Row, error) {
-	t := c.Build()
-	ids := t.Identities()
-	macs := ids.MACs()
+// table7Policy builds one sweep case's policy: all-pairs traffic classes
+// with the given number of them guaranteed.
+func table7Policy(c Table7Case, t *topo.Topology) (*merlin.Policy, int, error) {
+	macs := t.Identities().MACs()
 	classes := len(macs) * (len(macs) - 1)
 	var sb strings.Builder
 	sb.WriteString(`foreach (s,d) in cross(hosts,hosts): .*` + "\n[")
@@ -287,6 +287,13 @@ func Table7(c Table7Case) (Row, error) {
 	}
 	sb.WriteString("]")
 	pol, err := merlin.ParsePolicy(sb.String(), t)
+	return pol, classes, err
+}
+
+// Table7 runs one sweep case, reporting the paper's table columns.
+func Table7(c Table7Case) (Row, error) {
+	t := c.Build()
+	pol, classes, err := table7Policy(c, t)
 	if err != nil {
 		return Row{}, err
 	}
@@ -296,11 +303,54 @@ func Table7(c Table7Case) (Row, error) {
 	}
 	return row(c.Name,
 		"classes", fmt.Sprint(classes+c.Guaranteed),
-		"hosts", fmt.Sprint(len(macs)),
+		"hosts", fmt.Sprint(len(t.Hosts())),
 		"switches", fmt.Sprint(len(t.Switches())),
 		"lp_construct_ms", fmt.Sprintf("%.1f", ms(res.Timing.GraphBuild+res.Timing.LPConstruct)),
 		"lp_solve_ms", fmt.Sprintf("%.1f", ms(res.Timing.LPSolve)),
 		"rateless_ms", fmt.Sprintf("%.1f", ms(res.Timing.Rateless)),
+	), nil
+}
+
+// Table7Compare runs one sweep case twice — once with the default sparse
+// revised simplex, once with the dense tableau engine the sparse one
+// replaced — and reports the paper's columns plus the dense/sparse LP
+// speedup. This is the recorded ratio the CI regression gate guards: a
+// change that slows the sparse engine (or quietly routes solves to the
+// dense path) drags the speedup down. Costs one dense solve per case
+// (~seconds at k=4), so benchmarks time Table7 and only merlin-bench runs
+// the comparison.
+func Table7Compare(c Table7Case) (Row, error) {
+	t := c.Build()
+	pol, classes, err := table7Policy(c, t)
+	if err != nil {
+		return Row{}, err
+	}
+	sparse, err := merlin.Compile(pol, t, nil, merlin.Options{NoDefault: true})
+	if err != nil {
+		return Row{}, err
+	}
+	dense, err := merlin.Compile(pol, t, nil, merlin.Options{
+		NoDefault: true,
+		MIP:       mip.Params{LP: lp.Params{Dense: true}},
+	})
+	if err != nil {
+		return Row{}, fmt.Errorf("dense engine: %w", err)
+	}
+	sparseMS := ms(sparse.Timing.LPSolve)
+	denseMS := ms(dense.Timing.LPSolve)
+	speedup := 0.0
+	if sparseMS > 0 {
+		speedup = denseMS / sparseMS
+	}
+	return row(c.Name,
+		"classes", fmt.Sprint(classes+c.Guaranteed),
+		"hosts", fmt.Sprint(len(t.Hosts())),
+		"switches", fmt.Sprint(len(t.Switches())),
+		"lp_construct_ms", fmt.Sprintf("%.1f", ms(sparse.Timing.GraphBuild+sparse.Timing.LPConstruct)),
+		"lp_solve_ms", fmt.Sprintf("%.1f", sparseMS),
+		"rateless_ms", fmt.Sprintf("%.1f", ms(sparse.Timing.Rateless)),
+		"dense_solve_ms", fmt.Sprintf("%.1f", denseMS),
+		"speedup", fmt.Sprintf("%.1f", speedup),
 	), nil
 }
 

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestFailoverSpeedup runs the failure-recovery cases (each embeds its own
+// correctness cross-checks: byte-identical output versus a cold recompile
+// of the degraded topology, shard-local re-provisioning, and reroutes that
+// avoid the failed cable) and asserts the headline acceptance target: on
+// the k=8 fat tree, link-failure recovery through the incremental pipeline
+// must be ≥5x faster than a cold recompile (≈8x measured unloaded — the
+// failure re-enters one of the eight tenant shards, so the ratio tracks
+// the untouched-work fraction rather than machine speed). One retry
+// absorbs scheduler noise on loaded CI runners; the correctness checks are
+// never retried away — a run that fails them fails the test immediately.
+func TestFailoverSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped in -short")
+	}
+	for _, c := range FailoverCases() {
+		var r Row
+		var speedup float64
+		for attempt := 0; ; attempt++ {
+			var err error
+			r, err = FailoverRun(c)
+			if err != nil {
+				t.Fatalf("%s: %v", c.Name, err)
+			}
+			t.Logf("%s", r.Format())
+			speedup, err = strconv.ParseFloat(r.Values["speedup"], 64)
+			if err != nil {
+				t.Fatalf("%s: bad speedup %q", c.Name, r.Values["speedup"])
+			}
+			if speedup >= 5 || attempt >= 1 {
+				break
+			}
+			t.Logf("%s: speedup %.1fx below bar, retrying once for timing noise", c.Name, speedup)
+		}
+		if c.Name == "fattree-k8-failover" && speedup < 5 {
+			t.Errorf("%s: failover speedup %.1fx, want >= 5x", c.Name, speedup)
+		}
+	}
+}

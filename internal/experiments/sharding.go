@@ -47,6 +47,21 @@ func podNames(k, p int) []string {
 	return names
 }
 
+// tenantPair picks tenant p's g-th deterministic intra-pod host pair —
+// the one pairing scheme shared by the sharding and failover benchmarks
+// (the failover speedup claim depends on matching workloads).
+func tenantPair(p, g, half int) (src, dst string) {
+	se, sh := g%half, (g/half)%half
+	de, dh := (g+1)%half, (g+2)%half
+	src = fmt.Sprintf("h%d_%d_%d", p, se, sh)
+	dst = fmt.Sprintf("h%d_%d_%d", p, de, dh)
+	if src == dst {
+		dh = (dh + 1) % half
+		dst = fmt.Sprintf("h%d_%d_%d", p, de, dh)
+	}
+	return src, dst
+}
+
 // tenantRequests builds the per-pod tenants' guarantee requests: tenant p
 // asks for n guarantees between deterministic host pairs inside pod p,
 // each confined to the pod by the path expression (podNodes)*.
@@ -62,14 +77,7 @@ func tenantRequests(t *topo.Topology, k, n int) ([]provision.Request, error) {
 		}
 		expr := regex.Star{X: regex.AltAll(syms...)}
 		for g := 0; g < n; g++ {
-			se, sh := g%half, (g/half)%half
-			de, dh := (g+1)%half, (g+2)%half
-			src := fmt.Sprintf("h%d_%d_%d", p, se, sh)
-			dst := fmt.Sprintf("h%d_%d_%d", p, de, dh)
-			if src == dst {
-				dh = (dh + 1) % half
-				dst = fmt.Sprintf("h%d_%d_%d", p, de, dh)
-			}
+			src, dst := tenantPair(p, g, half)
 			graph, err := logical.BuildAnchored(t, expr, alpha, src, dst)
 			if err != nil {
 				return nil, fmt.Errorf("tenant %d guarantee %d: %w", p, g, err)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
+	"strconv"
 	"testing"
 
 	"merlin/internal/logical"
@@ -392,10 +394,20 @@ func runDifferential(t *testing.T, seed0 int64, n int) {
 
 // TestDifferentialShardedVsMonolithic is the acceptance harness: ≥200
 // seeded cases across five topology families and all three heuristics.
+// MERLIN_FUZZ_BUDGET multiplies the case budget (the nightly workflow
+// runs with MERLIN_FUZZ_BUDGET=10 for a 2200-case soak); the seed range
+// extends deterministically, so any divergence still replays by seed.
 func TestDifferentialShardedVsMonolithic(t *testing.T) {
 	n := 220
 	if testing.Short() {
 		n = 40
+	}
+	if s := os.Getenv("MERLIN_FUZZ_BUDGET"); s != "" {
+		mult, err := strconv.Atoi(s)
+		if err != nil || mult < 1 {
+			t.Fatalf("bad MERLIN_FUZZ_BUDGET %q: want a positive integer multiplier", s)
+		}
+		n *= mult
 	}
 	runDifferential(t, 424200, n)
 }

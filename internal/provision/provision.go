@@ -117,6 +117,15 @@ type Params struct {
 	// solve; one whose rates alone changed re-solves warm-started from the
 	// shard's cached basis.
 	Reuse []*ShardSolution
+	// Dirty lists canonical cable IDs (lower directed link ID of the pair)
+	// whose capacity or state changed since the Reuse solutions were
+	// produced. A reuse-candidate shard whose product graphs can ride a
+	// dirty cable is never served outright — its model's coefficients
+	// moved — but re-solves warm-started from its cached basis (the model
+	// shape is unchanged, so the old optimal basis installs directly and a
+	// few pivots absorb the capacity change). Shards not incident to any
+	// dirty cable reuse as usual.
+	Dirty map[topo.LinkID]bool
 }
 
 // rateUnit scales bits/s into MIP-friendly magnitudes (Mbps).
@@ -164,9 +173,10 @@ type builtModel struct {
 func buildModel(t *topo.Topology, reqs []Request, h Heuristic, eps float64) *builtModel {
 	model := mip.NewModel()
 
-	// Cable canonicalization must agree with Partition's, or two shards
-	// could silently share a capacity the model never couples.
-	cable := func(l topo.LinkID) topo.LinkID { return cableOf(t, l) }
+	// Cable canonicalization is topo.Cable everywhere — Partition, the
+	// dirty-cable incidence checks, and this model must agree, or two
+	// shards could silently share a capacity the model never couples.
+	cable := t.Cable
 	// x variables per request edge.
 	xvars := make([][]int, len(reqs))
 	for i, r := range reqs {
@@ -373,12 +383,7 @@ func Greedy(t *topo.Topology, reqs []Request) (*Result, error) {
 		Reserved: map[topo.LinkID]float64{},
 	}
 	cableUsed := map[topo.LinkID]float64{}
-	cable := func(l topo.LinkID) topo.LinkID {
-		if r := t.Link(l).Reverse; r < l {
-			return r
-		}
-		return l
-	}
+	cable := t.Cable
 	for _, i := range order {
 		r := reqs[i]
 		ids := shortestWithHeadroom(r.Graph, t, cableUsed, cable, r.MinRate)

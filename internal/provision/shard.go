@@ -91,7 +91,7 @@ func Partition(t *topo.Topology, reqs []Request) [][]int {
 			if e.Link < 0 {
 				continue
 			}
-			c := cableOf(t, e.Link)
+			c := t.Cable(e.Link)
 			if j, ok := owner[c]; ok {
 				union(i, j)
 			} else {
@@ -114,15 +114,6 @@ func Partition(t *topo.Topology, reqs []Request) [][]int {
 		out = append(out, groups[r])
 	}
 	return out
-}
-
-// cableOf canonicalizes a directed link to its cable: the lower of the
-// two directed link IDs (both directions share one physical capacity).
-func cableOf(t *topo.Topology, l topo.LinkID) topo.LinkID {
-	if r := t.Link(l).Reverse; r < l {
-		return r
-	}
-	return l
 }
 
 // parallelShards runs f(0..n-1) over a bounded worker pool; workers <= 0
@@ -183,7 +174,7 @@ func solveComponents(t *topo.Topology, reqs []Request, comps [][]int, h Heuristi
 		key := shardKeyOf(ids)
 		var warm *lp.Basis
 		if prev, ok := reuse[key]; ok && sameShardShape(prev, sub) {
-			if sameShardRates(prev, sub) {
+			if sameShardRates(prev, sub) && !shardTouchesDirty(t, sub, p.Dirty) {
 				shards[ci] = prev
 				kind[ci] = 2
 				return
@@ -209,12 +200,14 @@ func solveComponents(t *topo.Topology, reqs []Request, comps [][]int, h Heuristi
 		}
 		shards[ci] = out
 	})
+	// solveOne's errors carry no package prefix, so shard attribution and
+	// the "provision:" prefix compose without stuttering.
 	for ci, err := range errs {
 		if err != nil {
 			if len(comps) > 1 {
 				return nil, fmt.Errorf("provision: shard %d (%s): %w", ci, strings.Join(requestIDs(reqs, comps[ci]), ","), err)
 			}
-			return nil, err
+			return nil, fmt.Errorf("provision: %w", err)
 		}
 	}
 	res := &Result{
@@ -283,6 +276,23 @@ func sameShardRates(prev *ShardSolution, sub []Request) bool {
 	return true
 }
 
+// shardTouchesDirty reports whether any of the shard's product graphs can
+// ride a dirty cable — in which case the cached solution's model had
+// different capacity coefficients and must not be served outright.
+func shardTouchesDirty(t *topo.Topology, sub []Request, dirty map[topo.LinkID]bool) bool {
+	if len(dirty) == 0 {
+		return false
+	}
+	for _, r := range sub {
+		for _, e := range r.Graph.Edges {
+			if e.Link >= 0 && dirty[t.Cable(e.Link)] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // solveOne builds and solves the MIP for one request set (a shard, or the
 // whole problem when sharding is off) and decodes the outcome. The warm
 // basis, when non-nil and shape-compatible, starts the root relaxation
@@ -304,9 +314,9 @@ func solveOne(t *topo.Topology, reqs []Request, h Heuristic, mp mip.Params, eps 
 	case mip.Optimal:
 		// proceed
 	case mip.Infeasible:
-		return nil, fmt.Errorf("provision: no assignment satisfies the path and bandwidth constraints")
+		return nil, fmt.Errorf("no assignment satisfies the path and bandwidth constraints")
 	default:
-		return nil, fmt.Errorf("provision: solver stopped with status %v", sol.Status)
+		return nil, fmt.Errorf("solver stopped with status %v", sol.Status)
 	}
 	out := &ShardSolution{
 		Paths:    make(map[string][]logical.Step, len(reqs)),
@@ -318,7 +328,7 @@ func solveOne(t *topo.Topology, reqs []Request, h Heuristic, mp mip.Params, eps 
 		vars := bm.xvars[i]
 		steps, err := r.Graph.ExtractPath(func(e int) bool { return sol.X[vars[e]] > 0.5 })
 		if err != nil {
-			return nil, fmt.Errorf("provision: decoding %s: %w", r.ID, err)
+			return nil, fmt.Errorf("decoding %s: %w", r.ID, err)
 		}
 		out.Paths[r.ID] = steps
 		addReservations(t, out.Reserved, steps, r.MinRate)

@@ -203,6 +203,54 @@ func TestShardReuseAndWarmStart(t *testing.T) {
 	}
 }
 
+func TestDirtyCableBlocksShardReuse(t *testing.T) {
+	tp, reqs := ringTenants(t, 8)
+	first, err := Solve(tp, reqs, WeightedShortestPath, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Halve the capacity of a cable inside tenant B's arc (s5-s6). Tenant
+	// A's shard is not incident to it and reuses; tenant B's must re-solve
+	// warm-started even though its requests are unchanged.
+	s5 := tp.MustLookup(switchName(5))
+	s6 := tp.MustLookup(switchName(6))
+	im, err := tp.SetCableCapacity(s5, s6, 50*topo.MBps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := map[topo.LinkID]bool{}
+	for _, c := range im.Cables {
+		dirty[c] = true
+	}
+	res, err := Solve(tp, reqs, WeightedShortestPath, Params{Reuse: first.Shards, Dirty: dirty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShardsReused != 1 || res.ShardsWarm != 1 || res.ShardsSolved != 0 {
+		t.Fatalf("dirty cable: solved=%d warm=%d reused=%d, want 0/1/1",
+			res.ShardsSolved, res.ShardsWarm, res.ShardsReused)
+	}
+	// The re-solved shard sees the new capacity: RMax is computed against
+	// the halved cable, matching a fresh solve.
+	fresh, err := Solve(tp, reqs, WeightedShortestPath, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RMax != fresh.RMax {
+		t.Fatalf("dirty re-solve rmax %v != fresh %v", res.RMax, fresh.RMax)
+	}
+	// Without the dirty set the stale solution would be served outright —
+	// the guard the incremental compiler relies on.
+	stale, err := Solve(tp, reqs, WeightedShortestPath, Params{Reuse: first.Shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale.ShardsReused != 2 {
+		t.Fatalf("control: expected full (stale) reuse without Dirty, got %+v", stale.ShardsReused)
+	}
+}
+
 func TestSolveNoRequests(t *testing.T) {
 	tp := topo.Linear(3, topo.Gbps)
 	res, err := Solve(tp, nil, WeightedShortestPath, Params{})

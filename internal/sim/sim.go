@@ -86,6 +86,9 @@ func (n *Network) AddFlowOnPath(id string, nodes []topo.NodeID, demand, min, max
 func (n *Network) Allocate() {
 	resid := make([]float64, n.Topo.NumLinks())
 	for _, l := range n.Topo.Links() {
+		if !n.Topo.LinkIsUp(l.ID) {
+			continue // failed link: zero residual, flows across it starve
+		}
 		resid[l.ID] = l.Capacity
 	}
 	active := make([]*Flow, 0, len(n.Flows))
@@ -170,6 +173,43 @@ func (n *Network) Allocate() {
 			break // numerical stalemate; allocations are already fair
 		}
 	}
+}
+
+// FailedFlows returns the active flows whose path crosses a failed link —
+// traffic a link or switch failure blackholed. They stay allocated at
+// zero until rerouted (Reroute) or deactivated, mirroring a dataplane
+// whose stale forwarding rules still point into the failure.
+func (n *Network) FailedFlows() []*Flow {
+	var out []*Flow
+	for _, f := range n.Flows {
+		if !f.Active {
+			continue
+		}
+		for _, l := range f.Path {
+			if !n.Topo.LinkIsUp(l) {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Reroute replaces a flow's path with an explicit node path — the
+// simulator-side application of a compiler reroute diff. Every hop must
+// be a live link.
+func (n *Network) Reroute(f *Flow, nodes []topo.NodeID) error {
+	var links []topo.LinkID
+	for i := 1; i < len(nodes); i++ {
+		l, ok := n.Topo.FindLink(nodes[i-1], nodes[i])
+		if !ok {
+			return fmt.Errorf("sim: reroute %s: no live link %s-%s", f.ID,
+				n.Topo.Node(nodes[i-1]).Name, n.Topo.Node(nodes[i]).Name)
+		}
+		links = append(links, l.ID)
+	}
+	f.Path = links
+	return nil
 }
 
 // Step advances the simulation by dt seconds: allocates rates and

@@ -300,3 +300,72 @@ func BenchmarkAllocateFatTree(b *testing.B) {
 		net.Allocate()
 	}
 }
+
+// TestLinkFailureScenario is the flow-level failure story: a flow's link
+// fails mid-simulation, its traffic blackholes (rate 0), a reroute around
+// the failure restores service, and recovery brings the original path
+// back.
+func TestLinkFailureScenario(t *testing.T) {
+	// 4-switch ring with hosts on opposite corners: two disjoint routes.
+	tp := topo.Ring(4, 1, topo.Gbps)
+	h0, h2 := tp.MustLookup("h0_0"), tp.MustLookup("h2_0")
+	net := New(tp)
+	orig := tp.ShortestPath(h0, h2)
+	f, err := net.AddFlowOnPath("f", orig, 400e6, 100e6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Step(1)
+	if f.Rate < 390e6 {
+		t.Fatalf("pre-failure rate %v, want ~400Mbps", f.Rate)
+	}
+
+	// Fail the first switch-switch link on the path.
+	if _, err := tp.SetLinkState(orig[1], orig[2], false); err != nil {
+		t.Fatal(err)
+	}
+	net.Step(1)
+	if f.Rate != 0 {
+		t.Fatalf("flow across failed link allocated %v, want 0", f.Rate)
+	}
+	failed := net.FailedFlows()
+	if len(failed) != 1 || failed[0] != f {
+		t.Fatalf("FailedFlows = %v", failed)
+	}
+	if err := net.CheckCapacities(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reroute around the ring; service resumes.
+	alt := tp.ShortestPath(h0, h2)
+	if alt == nil {
+		t.Fatal("no alternate path in a ring")
+	}
+	if err := net.Reroute(f, alt); err != nil {
+		t.Fatal(err)
+	}
+	net.Step(1)
+	if f.Rate < 390e6 {
+		t.Fatalf("post-reroute rate %v, want ~400Mbps", f.Rate)
+	}
+	if len(net.FailedFlows()) != 0 {
+		t.Fatalf("rerouted flow still reported failed")
+	}
+
+	// A reroute through the still-down link is rejected.
+	if err := net.Reroute(f, orig); err == nil {
+		t.Fatal("reroute across a failed link must error")
+	}
+
+	// Recovery restores the original path's usability.
+	if _, err := tp.SetLinkState(orig[1], orig[2], true); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Reroute(f, orig); err != nil {
+		t.Fatalf("reroute after recovery: %v", err)
+	}
+	net.Step(1)
+	if f.Rate < 390e6 {
+		t.Fatalf("post-recovery rate %v", f.Rate)
+	}
+}

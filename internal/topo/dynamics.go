@@ -1,0 +1,233 @@
+// Topology dynamics: link and switch failure, recovery, and capacity
+// changes (§6's dynamic-adaptation story). Node and link identifiers are
+// stable across events — a failed element keeps its ID and is merely
+// filtered out of the adjacency structure — so artifacts built against
+// the topology (product graphs, provisioning solutions, generated
+// configuration) remain addressable while the incremental compiler
+// decides which of them the event actually invalidated.
+//
+// Every mutator returns an Impact describing the affected elements:
+// the physical cables whose state or capacity changed, hosts that lost
+// their last live attachment, and the (now stale) identities those hosts
+// were reachable by. Consumers — the incremental compiler's cache
+// invalidation, a controller's alarm stream — key off the Impact rather
+// than re-deriving it.
+package topo
+
+import "fmt"
+
+// Impact reports what a topology mutation affected.
+type Impact struct {
+	// Cables lists the canonical cable IDs (lower directed link ID of each
+	// pair) whose state or capacity the mutation changed.
+	Cables []LinkID
+	// Links lists every directed link ID affected (both directions of each
+	// cable in Cables).
+	Links []LinkID
+	// ConnectivityChanged reports that links were taken down or restored —
+	// paths may have appeared or vanished. Capacity-only changes leave it
+	// false: the graph structure is intact and only provisioning headroom
+	// moved.
+	ConnectivityChanged bool
+	// DetachedHosts lists hosts that lost their last live link through this
+	// mutation; ReattachedHosts lists hosts that regained one.
+	DetachedHosts   []NodeID
+	ReattachedHosts []NodeID
+	// StaleIdentities lists the policy-level identities (MAC and IP) of the
+	// newly detached hosts — addresses that no longer route anywhere.
+	StaleIdentities []string
+}
+
+// LinkIsUp reports whether a directed link is live: neither administratively
+// down nor incident to a down node.
+func (t *Topology) LinkIsUp(id LinkID) bool {
+	l := t.links[id]
+	return !t.linkState(id) && !t.nodeState(l.Src) && !t.nodeState(l.Dst)
+}
+
+// NodeIsUp reports whether a node is live.
+func (t *Topology) NodeIsUp(id NodeID) bool { return !t.nodeState(id) }
+
+func (t *Topology) linkState(id LinkID) bool {
+	return len(t.linkDown) > int(id) && t.linkDown[id]
+}
+
+func (t *Topology) nodeState(id NodeID) bool {
+	return len(t.nodeDown) > int(id) && t.nodeDown[id]
+}
+
+// Cable canonicalizes a directed link to its cable: the lower of the two
+// directed link IDs (both directions share one physical capacity).
+func (t *Topology) Cable(l LinkID) LinkID {
+	if r := t.links[l].Reverse; r < l {
+		return r
+	}
+	return l
+}
+
+// CableBetween locates the cable between two nodes regardless of its
+// current state (FindLink only sees live adjacency).
+func (t *Topology) CableBetween(a, b NodeID) (LinkID, bool) { return t.findCable(a, b) }
+
+// findCable locates the cable between two nodes, including cables whose
+// links are currently down (FindLink only sees live adjacency). It scans
+// the full link table: mutations are rare control-plane events, not a
+// compile hot path, so the scan is not worth a second (failure-inclusive)
+// adjacency structure.
+func (t *Topology) findCable(a, b NodeID) (LinkID, bool) {
+	for i := range t.links {
+		l := &t.links[i]
+		if (l.Src == a && l.Dst == b) || (l.Src == b && l.Dst == a) {
+			return t.Cable(l.ID), true
+		}
+	}
+	return 0, false
+}
+
+// SetLinkState fails (up == false) or restores (up == true) the cable
+// between a and b: both directed links change state together, mirroring a
+// physical cable cut. Setting the current state again is a no-op that
+// reports an empty impact; so is flipping the flag of a cable whose
+// liveness cannot change because an endpoint node is down — the flag is
+// recorded (the cable stays down when the node recovers) but no
+// connectivity changed, so consumers need not invalidate anything.
+func (t *Topology) SetLinkState(a, b NodeID, up bool) (Impact, error) {
+	c, ok := t.findCable(a, b)
+	if !ok {
+		return Impact{}, fmt.Errorf("topo: no link between %s and %s", t.nodes[a].Name, t.nodes[b].Name)
+	}
+	r := t.links[c].Reverse
+	if t.linkState(c) == !up {
+		return Impact{}, nil
+	}
+	if t.linkDown == nil {
+		t.linkDown = make([]bool, len(t.links))
+	}
+	before := t.attachedSnapshot()
+	t.linkDown[c] = !up
+	t.linkDown[r] = !up
+	t.rebuildAdjacency()
+	var im Impact
+	if !t.nodeState(t.links[c].Src) && !t.nodeState(t.links[c].Dst) {
+		im = Impact{
+			Cables:              []LinkID{c},
+			Links:               []LinkID{c, r},
+			ConnectivityChanged: true,
+		}
+	}
+	t.attachmentDelta(before, &im)
+	return im, nil
+}
+
+// SetNodeState fails or restores a node — typically a switch, taking every
+// incident link with it. Links that were independently failed via
+// SetLinkState stay down when the node comes back. Setting the current
+// state again is a no-op.
+func (t *Topology) SetNodeState(n NodeID, up bool) (Impact, error) {
+	if int(n) >= len(t.nodes) {
+		return Impact{}, fmt.Errorf("topo: unknown node %d", n)
+	}
+	if t.nodeState(n) == !up {
+		return Impact{}, nil
+	}
+	if t.nodeDown == nil {
+		t.nodeDown = make([]bool, len(t.nodes))
+	}
+	before := t.attachedSnapshot()
+	// The incident cables whose liveness actually flips with this node:
+	// skip those already (or still) dead through their own flag or the
+	// far endpoint. If nothing flips (every incident cable was already
+	// failed independently), the event changed no connectivity and
+	// consumers need not invalidate anything — matching SetLinkState's
+	// handling of the mirror case.
+	var im Impact
+	for i := range t.links {
+		l := &t.links[i]
+		if l.Src != n {
+			continue // visit each incident cable once, from its n-sourced side
+		}
+		if t.linkState(l.ID) || t.nodeState(l.Dst) {
+			continue
+		}
+		c := t.Cable(l.ID)
+		im.Cables = append(im.Cables, c)
+		im.Links = append(im.Links, c, t.links[c].Reverse)
+	}
+	im.ConnectivityChanged = len(im.Cables) > 0
+	t.nodeDown[n] = !up
+	t.rebuildAdjacency()
+	t.attachmentDelta(before, &im)
+	return im, nil
+}
+
+// SetCableCapacity changes the capacity of the cable between a and b, in
+// both directions. The graph structure is untouched — only provisioning
+// headroom moves — so Impact.ConnectivityChanged stays false.
+func (t *Topology) SetCableCapacity(a, b NodeID, capacity float64) (Impact, error) {
+	if capacity <= 0 {
+		return Impact{}, fmt.Errorf("topo: capacity must be positive (got %g); use SetLinkState to fail the link", capacity)
+	}
+	c, ok := t.findCable(a, b)
+	if !ok {
+		return Impact{}, fmt.Errorf("topo: no link between %s and %s", t.nodes[a].Name, t.nodes[b].Name)
+	}
+	r := t.links[c].Reverse
+	if t.links[c].Capacity == capacity && t.links[r].Capacity == capacity {
+		return Impact{}, nil
+	}
+	t.links[c].Capacity = capacity
+	t.links[r].Capacity = capacity
+	return Impact{Cables: []LinkID{c}, Links: []LinkID{c, r}}, nil
+}
+
+// rebuildAdjacency recomputes the live adjacency lists from the link table
+// and the down flags. Links are visited in ID order — the order AddLink
+// appended them — so a restored topology reproduces the original adjacency
+// byte for byte, and with it every downstream deterministic choice.
+func (t *Topology) rebuildAdjacency() {
+	// Fresh slices, not truncation: Out/In hand out the underlying slices
+	// and earlier callers may still be iterating them.
+	for i := range t.out {
+		t.out[i] = nil
+		t.in[i] = nil
+	}
+	for i := range t.links {
+		l := &t.links[i]
+		if !t.LinkIsUp(l.ID) {
+			continue
+		}
+		t.out[l.Src] = append(t.out[l.Src], l.ID)
+		t.in[l.Dst] = append(t.in[l.Dst], l.ID)
+	}
+}
+
+// attachedSnapshot records which hosts currently have at least one live
+// link.
+func (t *Topology) attachedSnapshot() []bool {
+	out := make([]bool, len(t.nodes))
+	for i, n := range t.nodes {
+		if n.Kind == Host {
+			out[i] = len(t.out[i]) > 0 || len(t.in[i]) > 0
+		}
+	}
+	return out
+}
+
+// attachmentDelta compares a pre-mutation snapshot against the current
+// adjacency and records newly detached and reattached hosts, plus the
+// stale identities of the detached ones.
+func (t *Topology) attachmentDelta(before []bool, im *Impact) {
+	for i, n := range t.nodes {
+		if n.Kind != Host {
+			continue
+		}
+		now := len(t.out[i]) > 0 || len(t.in[i]) > 0
+		switch {
+		case before[i] && !now:
+			im.DetachedHosts = append(im.DetachedHosts, n.ID)
+			im.StaleIdentities = append(im.StaleIdentities, MACOf(n.ID), IPOf(n.ID))
+		case !before[i] && now:
+			im.ReattachedHosts = append(im.ReattachedHosts, n.ID)
+		}
+	}
+}

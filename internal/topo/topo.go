@@ -63,14 +63,23 @@ type Link struct {
 	Reverse LinkID
 }
 
-// Topology is a mutable graph of nodes and directed links.
-// The zero value is an empty topology ready for use.
+// Topology is a mutable graph of nodes and directed links. The zero value
+// is an empty topology ready for use. Structure is append-only (AddNode,
+// AddLink), but elements can fail and recover: see dynamics.go's
+// SetLinkState, SetNodeState, and SetCableCapacity. Out, In, Neighbors,
+// FindLink, and the path helpers see only live links; Links and Link
+// still expose failed elements by their stable IDs.
 type Topology struct {
 	nodes  []Node
 	links  []Link
-	out    [][]LinkID // adjacency: outgoing links per node
-	in     [][]LinkID // adjacency: incoming links per node
+	out    [][]LinkID // live adjacency: outgoing links per node
+	in     [][]LinkID // live adjacency: incoming links per node
 	byName map[string]NodeID
+
+	// linkDown and nodeDown mark failed elements (dynamics.go); nil until
+	// the first failure, so static topologies pay nothing.
+	linkDown []bool
+	nodeDown []bool
 }
 
 // New returns an empty topology.

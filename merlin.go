@@ -37,6 +37,16 @@
 // Delegate, Propose, and Reallocate; Compiler.Watch binds a compiler to a
 // negotiator so every accepted negotiation tick drives an incremental
 // recompile.
+//
+// The topology is dynamic too: link/switch failures, recoveries, and
+// capacity changes flow through the same incremental pipeline as
+// TopoEvents — Delta.Topo, Compiler.ApplyTopo, or a WatchTopo event
+// stream — invalidating only the artifacts each event stales (a link
+// failure rebuilds just the product graphs crossing the failed cable and
+// re-solves just the provisioning shards it touches) and yielding the
+// reroute as a device-level diff:
+//
+//	diff, _ := c.ApplyTopo(merlin.LinkFailure("agg0_0", "edge0_0"))
 package merlin
 
 import (
