@@ -28,6 +28,7 @@ func main() {
 		heuristic = flag.String("heuristic", "wsp", "path selection: wsp, ratio, reserved")
 		placeArg  = flag.String("place", "", "function placements, e.g. dpi=m1;nat=m1,h2")
 		greedy    = flag.Bool("greedy", false, "use the greedy allocator instead of the MIP")
+		targets   = flag.String("targets", "", "comma-separated dataplane backends (default: openflow,tc,click,host; registered: "+strings.Join(merlin.BackendNames(), ",")+")")
 		workers   = flag.Int("workers", 0, "compile worker pool size (0 = all CPUs, 1 = sequential)")
 		timing    = flag.Bool("time", false, "print the per-phase compile-time breakdown")
 		verbose   = flag.Bool("v", false, "print every generated rule")
@@ -54,6 +55,13 @@ func main() {
 		fatal(err)
 	}
 	opts := merlin.Options{Greedy: *greedy, Workers: *workers}
+	if *targets != "" {
+		for _, name := range strings.Split(*targets, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				opts.Targets = append(opts.Targets, name)
+			}
+		}
+	}
 	switch *heuristic {
 	case "wsp":
 		opts.Heuristic = merlin.WeightedShortestPath
@@ -73,6 +81,14 @@ func main() {
 		len(res.Policy.Statements), len(t.Switches()), len(t.Hosts()))
 	fmt.Printf("  openflow rules: %d\n  queue configs:  %d\n  tc commands:    %d\n  iptables:       %d\n  click configs:  %d\n",
 		c.OpenFlow, c.Queues, c.TC, c.IPTables, c.Click)
+	// Non-builtin targets (e.g. -targets ...,p4) report their native
+	// entry counts from their artifacts.
+	for _, name := range sortedKeys(res.Outputs) {
+		if merlin.IsBuiltinTarget(name) {
+			continue
+		}
+		fmt.Printf("  %s entries: %8d\n", name, len(res.Outputs[name].Entries()))
+	}
 	if *timing {
 		tm := res.Timing
 		fmt.Printf("  timing (total %v):\n", tm.Total())
@@ -105,6 +121,15 @@ func main() {
 		}
 		for _, cc := range res.Output.Click {
 			fmt.Printf("  click node=%d %s\n", cc.Node, cc.Config)
+		}
+		for _, name := range sortedKeys(res.Outputs) {
+			if merlin.IsBuiltinTarget(name) {
+				continue
+			}
+			fmt.Printf("%s entries:\n", name)
+			for _, e := range res.Outputs[name].Entries() {
+				fmt.Printf("  dev=%d %s\n", e.Device, e.Text)
+			}
 		}
 	}
 }

@@ -45,6 +45,22 @@ type Options struct {
 	// Zero means runtime.NumCPU(); 1 forces the sequential path. Output
 	// is identical for every pool size.
 	Workers int
+	// Targets selects the dataplane backends to emit, by registry name
+	// (see codegen.Register; "p4" is bundled). Nil means the built-in
+	// default set — OpenFlow rules + queues, tc/iptables commands, Click
+	// configurations, and end-host interpreter programs — which is
+	// byte-identical to the pre-registry compiler. Result.Outputs holds
+	// one artifact per target; Result.Output aggregates whichever
+	// built-ins were requested.
+	Targets []string
+	// TopoDebounce is WatchTopo's coalescing window: after the first
+	// event of a burst arrives, the watcher keeps collecting events for
+	// this long before applying them as one batch — so a failure storm
+	// (a switch plus every link it carried, a maintenance drain) costs
+	// one invalidation sweep and one recompile instead of one per event.
+	// Zero keeps the eager behavior: apply immediately, coalescing only
+	// events already queued.
+	TopoDebounce time.Duration
 }
 
 // parallelDo runs f(0..n-1) over a bounded worker pool. Each index is
@@ -112,10 +128,20 @@ type Result struct {
 	Paths map[string][]string
 	// Placements lists, per statement, the chosen function placements.
 	Placements map[string][]PlacementChoice
-	// Output holds the generated device configuration.
+	// IR is the lowered target-neutral program every backend emitted
+	// from — per-device classifier rules with tags and priorities, queue
+	// reservations, rate caps, middlebox hops, and host functions.
+	IR *codegen.Program
+	// Outputs holds each requested backend's emitted artifact, keyed by
+	// target name (Options.Targets).
+	Outputs map[string]codegen.Artifact
+	// Output aggregates the built-in backends' artifacts into the legacy
+	// device-configuration struct. Sections whose backend was not
+	// targeted stay empty.
 	Output *codegen.Output
 	// Programs holds per-host end-host interpreter programs enforcing
-	// caps and payload filters (the §3.4 kernel-module backend).
+	// caps and payload filters (the §3.4 kernel-module backend) — the
+	// "host" target's artifact.
 	Programs map[NodeID]*interp.Program
 	// Timing breaks down compile phases.
 	Timing Timing
@@ -644,38 +670,104 @@ func (c *Compiler) bestEffortStage(run *runState, plans []codegen.Plan) ([]codeg
 	return plans, nil
 }
 
-// codegenFull runs phase 4: code generation (§3.4). It also retains the
-// assembled plan list so a later caps-only pass can regenerate just the
-// tc commands from it.
+// codegenFull runs phase 4: code generation (§3.4). The plans are lowered
+// once into the target-neutral IR and every requested backend emits its
+// artifact from it. The plan list and lowered program are retained so a
+// later caps-only pass can regenerate just the cap-reachable sections.
 func (c *Compiler) codegenFull(run *runState, plans []codegen.Plan) error {
 	cs := time.Now()
-	out, err := codegen.Generate(c.t, plans)
+	prog, err := codegen.Lower(c.t, plans)
 	if err != nil {
 		return err
 	}
-	run.res.Output = out
+	prog.HostFns = c.hostFunctions(run)
+	arts := make(map[string]codegen.Artifact, len(c.targets))
+	for _, name := range c.targets {
+		b, _ := codegen.Lookup(name) // presence checked by checkTargets before the pipeline ran
+		art, err := b.Emit(c.t, prog)
+		if err != nil {
+			return fmt.Errorf("merlin: backend %s: %w", name, err)
+		}
+		arts[name] = art
+	}
+	c.installArtifacts(run, prog, arts)
 	c.lastPlans, c.plansSorted = plans, false
+	c.lastProg = prog
 	c.stats.FullCodegens++
-	c.buildPrograms(run)
 	run.res.Timing.Codegen = time.Since(cs)
 	return nil
 }
 
+// checkTargets validates the resolved target list against the registry.
+// It runs before the expensive pipeline stages, so a typo'd target name
+// fails in microseconds instead of after a multi-second provisioning
+// solve. (The registry only grows, so a name that passes once passes
+// forever.)
+func (c *Compiler) checkTargets() error {
+	for _, name := range c.targets {
+		if _, ok := codegen.Lookup(name); !ok {
+			return fmt.Errorf("merlin: unknown codegen target %q (registered: %s)",
+				name, strings.Join(codegen.Names(), ", "))
+		}
+	}
+	return nil
+}
+
+// installArtifacts wires a pass's emitted artifacts into the result:
+// per-backend map, legacy aggregate Output, and the host backend's
+// interpreter programs.
+func (c *Compiler) installArtifacts(run *runState, prog *codegen.Program, arts map[string]codegen.Artifact) {
+	run.res.IR = prog
+	run.res.Outputs = arts
+	run.res.Output = codegen.AssembleOutput(arts)
+	if ha, ok := arts[codegen.TargetHost].(*codegen.HostArtifact); ok {
+		run.res.Programs = ha.Programs
+	}
+}
+
 // codegenPatch is the caps-only fast path (§4's bandwidth re-allocation
-// without recompilation): forwarding rules, queues, Click configurations,
-// tags, paths, and placements are all reused from the previous result —
-// only the tc commands and end-host programs, the artifacts a cap
-// actually reaches, are regenerated.
+// without recompilation), routed per backend: the previous pass's IR is
+// shallow-copied with only its cap-reachable sections (caps, host
+// functions) regenerated, the tc and host backends re-emit from it, and
+// every other target's artifact — forwarding rules, queues, Click
+// configurations, P4 table entries, tags — is shared outright with the
+// previous result, so its diff is empty by pointer identity.
 func (c *Compiler) codegenPatch(run *runState) {
 	cs := time.Now()
 	res := run.res
-	out := *c.last.Output // shallow: rules/queues/click/tags shared
-	out.TC = c.regenerateTC(run)
-	res.Output = &out
+	prog := *c.lastProg // shallow: rules/queues/filters/fns/tags shared
+	prog.Caps = c.regenerateCaps(run)
+	prog.HostFns = c.hostFunctions(run)
+	arts := make(map[string]codegen.Artifact, len(c.targets))
+	for _, name := range c.targets {
+		switch name {
+		case codegen.TargetTC, codegen.TargetHost:
+			b, _ := codegen.Lookup(name) // presence checked by checkTargets
+			art, err := b.Emit(c.t, &prog)
+			if err != nil {
+				// Unreachable for the built-ins; if it ever happens, a
+				// stale artifact (empty diff) is safe where an absent one
+				// would diff as "remove every cap".
+				arts[name] = c.last.Outputs[name]
+				continue
+			}
+			if tcArt, ok := art.(*codegen.TCArtifact); ok {
+				if lastTC, ok := c.last.Outputs[codegen.TargetTC].(*codegen.TCArtifact); ok {
+					// The filter section cannot change on a caps-only
+					// pass: share the slice so the diff's aliasing fast
+					// path sees it.
+					tcArt.IPTables = lastTC.IPTables
+				}
+			}
+			arts[name] = art
+		default:
+			arts[name] = c.last.Outputs[name]
+		}
+	}
+	c.installArtifacts(run, &prog, arts)
 	res.Paths = c.last.Paths
 	res.Placements = c.last.Placements
 	c.stats.PatchedCodegens++
-	c.buildPrograms(run)
 	res.Timing.Codegen = time.Since(cs)
 }
 
@@ -724,35 +816,35 @@ func (c *Compiler) patchableCodegen(run *runState) bool {
 	return true
 }
 
-// regenerateTC re-emits the tc cap commands exactly as codegen.Generate
-// would — plans stably sorted by descending priority, one command per
-// plan with a finite nonzero cap — from the retained plan list, with each
-// plan's cap read from the current allocations.
-func (c *Compiler) regenerateTC(run *runState) []codegen.HostCommand {
+// regenerateCaps re-lowers the rate-cap section of the IR exactly as
+// Lower would — plans stably sorted by descending priority, one cap per
+// plan with a finite nonzero maximum — from the retained plan list, with
+// each plan's cap read from the current allocations.
+func (c *Compiler) regenerateCaps(run *runState) []codegen.CapSpec {
 	if !c.plansSorted {
 		sort.SliceStable(c.lastPlans, func(i, j int) bool {
 			return c.lastPlans[i].Priority > c.lastPlans[j].Priority
 		})
 		c.plansSorted = true
 	}
-	var tc []codegen.HostCommand
+	var caps []codegen.CapSpec
 	for i := range c.lastPlans {
 		p := &c.lastPlans[i]
 		if capRate := run.alloc(p.ID).Max; codegen.CapApplies(capRate) {
-			tc = append(tc, codegen.CapCommand(p.SrcHost, p.ID, capRate))
+			caps = append(caps, codegen.CapSpec{Host: p.SrcHost, Stmt: p.ID, MaxBps: capRate})
 		}
 	}
-	return tc
+	return caps
 }
 
-// buildPrograms emits end-host interpreter programs: rate limits for caps
-// and drops for payload-matching filters iptables cannot express. It uses
-// the endpoints derived (and validated) in the statement stage, so an
-// endpoint error aborts compilation there instead of being silently
-// swallowed here (which used to lose end-host programs for statements
-// with caps).
-func (c *Compiler) buildPrograms(run *runState) {
-	r := run.res
+// hostFunctions lowers the end-host function section of the IR: rate
+// limits for capped statements, one per source host, which the host
+// backend renders into interpreter programs. It uses the endpoints
+// derived (and validated) in the statement stage, so an endpoint error
+// aborts compilation there instead of being silently swallowed here
+// (which used to lose end-host programs for statements with caps).
+func (c *Compiler) hostFunctions(run *runState) []codegen.HostFnSpec {
+	var fns []codegen.HostFnSpec
 	for idx, s := range run.work.Statements {
 		a, ok := run.allocs[s.ID]
 		if !ok || a.Max == 0 || math.IsNaN(a.Max) {
@@ -760,17 +852,13 @@ func (c *Compiler) buildPrograms(run *runState) {
 		}
 		if a.Max > 0 && !math.IsInf(a.Max, 1) {
 			for _, src := range run.arts[idx].srcs {
-				prog := r.Programs[src]
-				if prog == nil {
-					prog = &interp.Program{Name: c.t.Node(src).Name}
-					r.Programs[src] = prog
-				}
-				prog.Clauses = append(prog.Clauses, interp.Clause{
-					Pred: s.Predicate, Op: interp.OpRateLimit, RateBps: a.Max,
+				fns = append(fns, codegen.HostFnSpec{
+					Host: src, Stmt: s.ID, Pred: s.Predicate, RateBps: a.Max,
 				})
 			}
 		}
 	}
+	return fns
 }
 
 // stmtFingerprint identifies a statement's compilation-relevant inputs:

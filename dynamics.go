@@ -3,6 +3,7 @@ package merlin
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"merlin/internal/logical"
 	"merlin/internal/topo"
@@ -86,7 +87,12 @@ func (c *Compiler) ApplyTopo(events ...TopoEvent) (*Diff, error) {
 // WatchTopo consumes topology events — a controller's failure-detector
 // stream — until the channel closes, applying each batch through Update
 // and handing the reroute diff to onDiff (which may be nil). Events
-// already queued when one arrives are coalesced into a single recompile.
+// already queued when one arrives are coalesced into a single recompile;
+// with Options.TopoDebounce set, the watcher additionally holds the
+// batch open for that window after the first event arrives, so a
+// correlated failure storm whose events trickle in (a switch going down
+// followed by loss-of-light on each link it carried) still collapses
+// into one invalidation sweep and one recompile.
 // Errors (a malformed event, a failure that makes a guarantee
 // unsatisfiable) are reported to onErr (which may be nil) and the loop
 // continues; an applied topology mutation is never rolled back. Because
@@ -128,20 +134,40 @@ func (c *Compiler) WatchTopo(events <-chan TopoEvent, onDiff func(*Diff), onErr 
 			onErr(err)
 		}
 	}
+	debounce := c.opts.TopoDebounce
 	go func() {
 		defer close(done)
 		for ev := range events {
 			batch := []TopoEvent{ev}
-		drain:
-			for {
-				select {
-				case next, ok := <-events:
-					if !ok {
+			if debounce > 0 {
+				// Debounce: keep collecting until the window (anchored at
+				// the burst's first event) expires or the stream closes.
+				timer := time.NewTimer(debounce)
+			collect:
+				for {
+					select {
+					case next, ok := <-events:
+						if !ok {
+							timer.Stop()
+							break collect
+						}
+						batch = append(batch, next)
+					case <-timer.C:
+						break collect
+					}
+				}
+			} else {
+			drain:
+				for {
+					select {
+					case next, ok := <-events:
+						if !ok {
+							break drain
+						}
+						batch = append(batch, next)
+					default:
 						break drain
 					}
-					batch = append(batch, next)
-				default:
-					break drain
 				}
 			}
 			apply(batch)
@@ -171,15 +197,15 @@ func (e *topoEventError) Unwrap() error { return e.err }
 //     the cable lands in the dirty set and provisioning re-solves exactly
 //     the shards whose product graphs can ride it, warm-started from
 //     their cached bases (the model shape is unchanged).
-//   - LinkDown/SwitchDown: anchored per-statement product graphs are
-//     invalidated selectively — only those with an edge riding an
-//     affected cable; everything else still describes the degraded
-//     topology exactly. Minimized best-effort graphs and sink trees are
-//     dropped wholesale (the alphabet-generation treatment: they are
-//     cheap relative to re-proving which of them the failure reaches).
-//     Shard-local re-provisioning follows from the graph identity checks:
-//     rebuilt graphs force a cold shard solve, untouched shards are
-//     served from the previous solution.
+//   - LinkDown/SwitchDown: automaton-derived artifacts are invalidated
+//     selectively, by cable incidence. Anchored per-statement product
+//     graphs are evicted only when an edge rides an affected cable;
+//     minimized best-effort graphs get the same scoping, and a sink tree
+//     falls with its graph (tree edges are a subset of graph edges, so a
+//     surviving graph's trees still describe the degraded topology
+//     exactly). Shard-local re-provisioning follows from the graph
+//     identity checks: rebuilt graphs force a cold shard solve, untouched
+//     shards are served from the previous solution.
 //   - LinkUp/SwitchUp: restored connectivity can add edges to any product
 //     graph, including graphs built before the failure, so every
 //     automaton-derived artifact and the provisioning solution are
@@ -250,12 +276,19 @@ func (c *Compiler) applyTopoEvents(events []TopoEvent) error {
 		}
 		c.tainted = true
 		if up {
+			// Restored connectivity can add edges to any artifact,
+			// including ones built before the failure: drop everything
+			// automaton-derived.
 			for _, art := range c.stmts {
 				if art.anchored != nil {
 					art.anchored = nil
 					c.stats.AnchoredInvalidated++
 				}
 			}
+			c.stats.GraphsInvalidated += len(c.graphs)
+			c.stats.TreesInvalidated += len(c.trees)
+			c.graphs = map[string]*graphArtifact{}
+			c.trees = map[treeKey]*treeArtifact{}
 			c.prov = nil
 		} else {
 			cables := make(map[topo.LinkID]bool, len(im.Cables))
@@ -268,9 +301,33 @@ func (c *Compiler) applyTopoEvents(events []TopoEvent) error {
 					c.stats.AnchoredInvalidated++
 				}
 			}
+			// Best-effort artifacts get the same cable-incidence scoping:
+			// a minimized graph with no edge on an affected cable (and
+			// every sink tree hanging off it — tree edges are a subset)
+			// still describes the degraded topology exactly. Evicted keys
+			// are collected so the tree cache is swept once, not once per
+			// evicted graph.
+			var evicted map[string]bool
+			for key, ga := range c.graphs {
+				if !graphCrossesCables(c.t, ga.g, cables) {
+					continue
+				}
+				delete(c.graphs, key)
+				c.stats.GraphsInvalidated++
+				if evicted == nil {
+					evicted = map[string]bool{}
+				}
+				evicted[key] = true
+			}
+			if evicted != nil {
+				for tk := range c.trees {
+					if evicted[tk.key] {
+						delete(c.trees, tk)
+						c.stats.TreesInvalidated++
+					}
+				}
+			}
 		}
-		c.graphs = map[string]*graphArtifact{}
-		c.trees = map[treeKey]*treeArtifact{}
 	}
 	return nil
 }

@@ -51,6 +51,9 @@ type Compiler struct {
 	opts  Options
 	ids   *topo.IdentityTable
 	hosts []NodeID
+	// targets is the resolved backend list (Options.Targets, defaulted
+	// and deduplicated); every pass emits exactly these artifacts.
+	targets []string
 
 	// alpha is the shared symbol alphabet. It only grows; alphaGen is
 	// bumped whenever it does, invalidating every cached automaton-derived
@@ -72,10 +75,13 @@ type Compiler struct {
 	// checks entirely (policies are treated as immutable).
 	artSource []policy.Statement
 	// lastPlans retains the last full pass's assembled plans so a
-	// caps-only patch can regenerate tc commands without reassembling;
-	// they are sorted lazily on first patch.
+	// caps-only patch can regenerate the IR's cap section without
+	// reassembling; they are sorted lazily on first patch. lastProg is
+	// the last full pass's lowered program — the patch path shallow-
+	// copies it and re-emits only the cap-reachable backends.
 	lastPlans   []codegen.Plan
 	plansSorted bool
+	lastProg    *codegen.Program
 
 	stmts  map[string]*stmtArtifact
 	graphs map[string]*graphArtifact
@@ -189,6 +195,13 @@ type CompilerStats struct {
 	// graphs crossed the failed cable.
 	TopoEvents          int
 	AnchoredInvalidated int
+	// GraphsInvalidated and TreesInvalidated count the minimized
+	// best-effort product graphs and sink trees topology events evicted.
+	// Failures evict selectively — only artifacts whose cable incidence
+	// touches an affected cable — while recoveries evict wholesale (the
+	// documented asymmetry: a restored link can add edges anywhere).
+	GraphsInvalidated int
+	TreesInvalidated  int
 }
 
 // NewCompiler creates an incremental compiler bound to a topology,
@@ -200,16 +213,39 @@ type CompilerStats struct {
 // the caches describing a network that no longer exists.
 func NewCompiler(t *Topology, place Placement, opts Options) *Compiler {
 	return &Compiler{
-		t:      t,
-		place:  clonePlacement(place),
-		opts:   opts,
-		ids:    t.Identities(),
-		hosts:  t.Hosts(),
-		alpha:  logical.Alphabet(t),
-		stmts:  map[string]*stmtArtifact{},
-		graphs: map[string]*graphArtifact{},
-		trees:  map[treeKey]*treeArtifact{},
+		t:       t,
+		place:   clonePlacement(place),
+		opts:    opts,
+		ids:     t.Identities(),
+		hosts:   t.Hosts(),
+		targets: resolveTargets(opts.Targets),
+		alpha:   logical.Alphabet(t),
+		stmts:   map[string]*stmtArtifact{},
+		graphs:  map[string]*graphArtifact{},
+		trees:   map[treeKey]*treeArtifact{},
 	}
+}
+
+// resolveTargets defaults and deduplicates the requested backend list.
+// Unknown names are kept — they fail with a clear error at the next
+// compile, where the registry is consulted. A list that filters down to
+// nothing (all empty strings) gets the default set too: a compile that
+// silently emitted no dataplane output would be worse than either
+// behavior a caller could have meant.
+func resolveTargets(ts []string) []string {
+	seen := make(map[string]bool, len(ts))
+	out := make([]string, 0, len(ts))
+	for _, name := range ts {
+		if name == "" || seen[name] {
+			continue
+		}
+		seen[name] = true
+		out = append(out, name)
+	}
+	if len(out) == 0 {
+		return codegen.DefaultTargets()
+	}
+	return out
 }
 
 // Compile compiles a full policy through the artifact caches. On a fresh
@@ -311,8 +347,10 @@ func (c *Compiler) Update(d Delta) (*Diff, error) {
 }
 
 // diffResults builds the device-level delta between two compiled
-// results: the output sections plus the end-host interpreter programs
-// (which live on the Result, not the Output).
+// results: the typed sections for the built-in backends (plus the
+// end-host interpreter programs, which live on the Result rather than
+// the Output), and one native-form ArtifactDiff per non-builtin backend
+// (Diff.Backends) computed by that backend's own Diff method.
 func diffResults(old, new *Result) *Diff {
 	var oldOut *codegen.Output
 	oldPrograms := map[NodeID]*interp.Program{}
@@ -322,6 +360,23 @@ func diffResults(old, new *Result) *Diff {
 	}
 	d := codegen.DiffOutputs(oldOut, new.Output)
 	d.DiffPrograms(oldPrograms, new.Programs)
+	for name, art := range new.Outputs {
+		if codegen.IsBuiltin(name) {
+			continue
+		}
+		b, ok := codegen.Lookup(name)
+		if !ok {
+			continue
+		}
+		var oldArt codegen.Artifact
+		if old != nil {
+			oldArt = old.Outputs[name]
+		}
+		if d.Backends == nil {
+			d.Backends = map[string]codegen.ArtifactDiff{}
+		}
+		d.Backends[name] = b.Diff(oldArt, art)
+	}
 	return d
 }
 
@@ -378,6 +433,9 @@ func (c *Compiler) recompile(pol *Policy) (*Result, error) {
 	}
 	run := &runState{res: res}
 	run.aliased = c.artSource != nil && sameStatementSlice(pol.Statements, c.artSource)
+	if err := c.checkTargets(); err != nil {
+		return nil, err
+	}
 	if err := c.preprocessStage(pol, run); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,402 @@
+package codegen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"merlin/internal/interp"
+	"merlin/internal/openflow"
+	"merlin/internal/packet"
+	"merlin/internal/pred"
+	"merlin/internal/topo"
+)
+
+// Backend is one pluggable dataplane target: a pure renderer from the
+// target-neutral Program into a device-family-native configuration.
+// Implementations must be deterministic in the Program — the incremental
+// compiler diffs successive artifacts, and a nondeterministic emitter
+// would turn every no-op recompile into a spurious dataplane write.
+type Backend interface {
+	// Name is the registry key ("openflow", "p4", ...).
+	Name() string
+	// Emit renders the program for this target.
+	Emit(t *topo.Topology, prog *Program) (Artifact, error)
+	// Diff computes the install/remove delta between two of this
+	// backend's artifacts. Either may be nil (treated as empty).
+	Diff(old, new Artifact) ArtifactDiff
+}
+
+// Artifact is one backend's emitted configuration.
+type Artifact interface {
+	// Backend names the backend that emitted the artifact.
+	Backend() string
+	// Entries renders the configuration as deterministic per-device
+	// entries — the diffable (and displayable) native form.
+	Entries() []Entry
+}
+
+// Entry is one rendered configuration line on one device.
+type Entry struct {
+	Device topo.NodeID
+	Text   string
+}
+
+// ArtifactDiff is a backend's install/remove delta in its native rendered
+// form.
+type ArtifactDiff struct {
+	Backend string
+	Install []Entry
+	Remove  []Entry
+}
+
+// Empty reports whether the diff changes nothing.
+func (d ArtifactDiff) Empty() bool { return len(d.Install) == 0 && len(d.Remove) == 0 }
+
+// DiffArtifacts computes the multiset delta between two artifacts of the
+// same backend. Pointer-identical artifacts (the incremental compiler
+// shares untouched artifacts across results) diff as empty without
+// rendering.
+func DiffArtifacts(backend string, old, new Artifact) ArtifactDiff {
+	d := ArtifactDiff{Backend: backend}
+	if old == new {
+		return d
+	}
+	var oldE, newE []Entry
+	if old != nil {
+		oldE = old.Entries()
+	}
+	if new != nil {
+		newE = new.Entries()
+	}
+	d.Install, d.Remove = diffEntries(newE, oldE, func(e Entry) string {
+		return fmt.Sprintf("%d|%s", e.Device, e.Text)
+	})
+	return d
+}
+
+// Built-in backend names. The four defaults together reproduce the
+// original monolithic Generate output: OpenFlow rules + queues, host tc
+// and iptables commands, Click middlebox configurations, and end-host
+// interpreter programs.
+const (
+	TargetOpenFlow = "openflow"
+	TargetTC       = "tc"
+	TargetClick    = "click"
+	TargetHost     = "host"
+)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Backend{}
+)
+
+// Register adds a backend to the registry. It panics on an empty name or
+// a duplicate registration — backends are compile-time plumbing, and a
+// collision is a programming error, not a runtime condition.
+func Register(b Backend) {
+	name := b.Name()
+	if name == "" {
+		panic("codegen: Register with empty backend name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("codegen: duplicate backend " + name)
+	}
+	registry[name] = b
+}
+
+// Lookup returns the named backend.
+func Lookup(name string) (Backend, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	b, ok := registry[name]
+	return b, ok
+}
+
+// Names lists the registered backends, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DefaultTargets returns the built-in target set compiled when
+// Options.Targets is unset — the original pre-registry output.
+func DefaultTargets() []string {
+	return []string{TargetOpenFlow, TargetTC, TargetClick, TargetHost}
+}
+
+// IsBuiltin reports whether the named backend is one of the four
+// built-ins whose artifacts assemble into the legacy Output struct (and
+// whose deltas appear in Diff's typed sections rather than
+// Diff.Backends).
+func IsBuiltin(name string) bool {
+	switch name {
+	case TargetOpenFlow, TargetTC, TargetClick, TargetHost:
+		return true
+	}
+	return false
+}
+
+func init() {
+	Register(openflowBackend{})
+	Register(tcBackend{})
+	Register(clickBackend{})
+	Register(hostBackend{})
+}
+
+// --- openflow ---------------------------------------------------------
+
+// OpenFlowArtifact is the openflow backend's output: flow rules, switch
+// queue reservations, and the tag allocation table.
+type OpenFlowArtifact struct {
+	Rules  []openflow.Rule
+	Queues []QueueConfig
+	Tags   map[string][]int
+}
+
+// Backend implements Artifact.
+func (a *OpenFlowArtifact) Backend() string { return TargetOpenFlow }
+
+// Entries implements Artifact.
+func (a *OpenFlowArtifact) Entries() []Entry {
+	out := make([]Entry, 0, len(a.Rules)+len(a.Queues))
+	for _, r := range a.Rules {
+		out = append(out, Entry{Device: r.Switch, Text: r.String()})
+	}
+	for _, q := range a.Queues {
+		out = append(out, Entry{Device: q.Switch, Text: fmt.Sprintf("queue port=%d q=%d min=%g", q.Port, q.Queue, q.MinBps)})
+	}
+	return out
+}
+
+type openflowBackend struct{}
+
+func (openflowBackend) Name() string { return TargetOpenFlow }
+
+func (openflowBackend) Emit(t *topo.Topology, prog *Program) (Artifact, error) {
+	art := &OpenFlowArtifact{
+		Rules:  make([]openflow.Rule, len(prog.Rules)),
+		Queues: prog.Queues,
+		Tags:   prog.Tags,
+	}
+	for i, r := range prog.Rules {
+		art.Rules[i] = toOpenFlowRule(r)
+	}
+	return art, nil
+}
+
+func (b openflowBackend) Diff(old, new Artifact) ArtifactDiff {
+	return DiffArtifacts(b.Name(), old, new)
+}
+
+// toOpenFlowRule maps one IR rule to its OpenFlow form. The IR match
+// sentinels are defined to coincide with the OpenFlow ones (AnyPort ↔
+// MatchAny, TagNone ↔ packet.VLANNone), but the mapping is written out so
+// the correspondence is explicit and backend-local.
+func toOpenFlowRule(r Rule) openflow.Rule {
+	m := openflow.Match{
+		InPort:    r.Match.InPort,
+		VLAN:      r.Match.Tag,
+		EthSrc:    r.Match.SrcMAC,
+		EthDst:    r.Match.DstMAC,
+		Predicate: r.Match.Pred,
+	}
+	if r.Match.InPort == AnyPort {
+		m.InPort = openflow.MatchAny
+	}
+	switch r.Match.Tag {
+	case TagAny:
+		m.VLAN = openflow.MatchAny
+	case TagNone:
+		m.VLAN = packet.VLANNone
+	}
+	acts := make([]openflow.Action, len(r.Ops))
+	for i, op := range r.Ops {
+		switch op.Kind {
+		case OpForward:
+			acts[i] = openflow.Output{Port: op.Port}
+		case OpForwardQueue:
+			acts[i] = openflow.Enqueue{Port: op.Port, Queue: op.Queue}
+		case OpSetTag:
+			acts[i] = openflow.SetVLAN{VLAN: op.Tag}
+		case OpClearTag:
+			acts[i] = openflow.StripVLAN{}
+		case OpDrop:
+			acts[i] = openflow.Drop{}
+		}
+	}
+	return openflow.Rule{Switch: r.Device, Priority: r.Priority, Match: m, Actions: acts}
+}
+
+// --- tc / iptables ----------------------------------------------------
+
+// TCArtifact is the tc backend's output: host-side tc rate caps and
+// iptables edge filters.
+type TCArtifact struct {
+	TC       []HostCommand
+	IPTables []HostCommand
+}
+
+// Backend implements Artifact.
+func (a *TCArtifact) Backend() string { return TargetTC }
+
+// Entries implements Artifact.
+func (a *TCArtifact) Entries() []Entry {
+	out := make([]Entry, 0, len(a.TC)+len(a.IPTables))
+	for _, hc := range a.TC {
+		out = append(out, Entry{Device: hc.Host, Text: hc.Kind + " " + hc.Command})
+	}
+	for _, hc := range a.IPTables {
+		out = append(out, Entry{Device: hc.Host, Text: hc.Kind + " " + hc.Command})
+	}
+	return out
+}
+
+type tcBackend struct{}
+
+func (tcBackend) Name() string { return TargetTC }
+
+func (tcBackend) Emit(t *topo.Topology, prog *Program) (Artifact, error) {
+	art := &TCArtifact{}
+	ids := t.Identities()
+	for _, c := range prog.Caps {
+		art.TC = append(art.TC, CapCommand(c.Host, c.Stmt, c.MaxBps))
+	}
+	for _, f := range prog.Filters {
+		ident, _ := ids.Of(f.Host)
+		art.IPTables = append(art.IPTables, HostCommand{
+			Host: f.Host,
+			Kind: "iptables",
+			Command: fmt.Sprintf("iptables -A OUTPUT -m merlin --stmt %s -s %s -j DROP",
+				f.Stmt, ident.IP),
+		})
+	}
+	return art, nil
+}
+
+func (b tcBackend) Diff(old, new Artifact) ArtifactDiff {
+	return DiffArtifacts(b.Name(), old, new)
+}
+
+// --- click ------------------------------------------------------------
+
+// ClickArtifact is the click backend's output: one configuration per
+// placed packet-processing function instance.
+type ClickArtifact struct {
+	Click []ClickConfig
+}
+
+// Backend implements Artifact.
+func (a *ClickArtifact) Backend() string { return TargetClick }
+
+// Entries implements Artifact.
+func (a *ClickArtifact) Entries() []Entry {
+	out := make([]Entry, 0, len(a.Click))
+	for _, cc := range a.Click {
+		out = append(out, Entry{Device: cc.Node, Text: cc.Fn + " " + cc.Config})
+	}
+	return out
+}
+
+type clickBackend struct{}
+
+func (clickBackend) Name() string { return TargetClick }
+
+func (clickBackend) Emit(t *topo.Topology, prog *Program) (Artifact, error) {
+	art := &ClickArtifact{}
+	for _, f := range prog.Fns {
+		art.Click = append(art.Click, ClickConfig{
+			Node:   f.Node,
+			Fn:     f.Fn,
+			Config: fmt.Sprintf("%s :: %s(STMT %s);", f.Fn, strings.ToUpper(f.Fn), f.Stmt),
+		})
+	}
+	return art, nil
+}
+
+func (b clickBackend) Diff(old, new Artifact) ArtifactDiff {
+	return DiffArtifacts(b.Name(), old, new)
+}
+
+// --- host (end-host interpreter) --------------------------------------
+
+// HostArtifact is the host backend's output: per-host end-host
+// interpreter programs enforcing caps (and payload filters) the switch
+// dataplane cannot.
+type HostArtifact struct {
+	Programs map[topo.NodeID]*interp.Program
+}
+
+// Backend implements Artifact.
+func (a *HostArtifact) Backend() string { return TargetHost }
+
+// Entries implements Artifact.
+func (a *HostArtifact) Entries() []Entry {
+	hosts := make([]topo.NodeID, 0, len(a.Programs))
+	for h := range a.Programs {
+		hosts = append(hosts, h)
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	out := make([]Entry, 0, len(hosts))
+	for _, h := range hosts {
+		p := a.Programs[h]
+		var sb strings.Builder
+		sb.WriteString("program " + p.Name)
+		for _, cl := range p.Clauses {
+			fmt.Fprintf(&sb, " | op=%d rate=%g pred=%s", cl.Op, cl.RateBps, pred.Format(cl.Pred))
+		}
+		out = append(out, Entry{Device: h, Text: sb.String()})
+	}
+	return out
+}
+
+type hostBackend struct{}
+
+func (hostBackend) Name() string { return TargetHost }
+
+func (hostBackend) Emit(t *topo.Topology, prog *Program) (Artifact, error) {
+	art := &HostArtifact{Programs: map[topo.NodeID]*interp.Program{}}
+	for _, fn := range prog.HostFns {
+		p := art.Programs[fn.Host]
+		if p == nil {
+			p = &interp.Program{Name: t.Node(fn.Host).Name}
+			art.Programs[fn.Host] = p
+		}
+		p.Clauses = append(p.Clauses, interp.Clause{
+			Pred: fn.Pred, Op: interp.OpRateLimit, RateBps: fn.RateBps,
+		})
+	}
+	return art, nil
+}
+
+func (b hostBackend) Diff(old, new Artifact) ArtifactDiff {
+	return DiffArtifacts(b.Name(), old, new)
+}
+
+// --- assembly ---------------------------------------------------------
+
+// AssembleOutput builds the legacy Output struct from whichever built-in
+// artifacts were emitted; sections without a corresponding backend stay
+// empty. Slices are shared with the artifacts, not copied.
+func AssembleOutput(arts map[string]Artifact) *Output {
+	out := &Output{Tags: map[string][]int{}}
+	if a, ok := arts[TargetOpenFlow].(*OpenFlowArtifact); ok {
+		out.Rules, out.Queues, out.Tags = a.Rules, a.Queues, a.Tags
+	}
+	if a, ok := arts[TargetTC].(*TCArtifact); ok {
+		out.TC, out.IPTables = a.TC, a.IPTables
+	}
+	if a, ok := arts[TargetClick].(*ClickArtifact); ok {
+		out.Click = a.Click
+	}
+	return out
+}

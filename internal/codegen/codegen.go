@@ -1,20 +1,24 @@
 // Package codegen turns provisioned paths and sink trees into device-level
-// configuration (§3.4): OpenFlow rules using VLAN tags to pin forwarding
-// paths (one tag per sink tree or guaranteed path, FlowTags-style), QoS
-// queue configurations for bandwidth guarantees, tc commands for host-side
-// rate limits, iptables commands for host-side filters, and Click
-// configurations for middlebox packet-processing functions.
+// configuration (§3.4) through a two-stage, pluggable pipeline: a lowering
+// pass (Lower) first compiles plans into a target-neutral intermediate
+// representation — per-device classifier rules with tags and priorities,
+// queue reservations, rate caps, middlebox hops, and host functions — and
+// registered backends (Register / Lookup) then render that Program into
+// concrete dataplane form. The built-in backends reproduce the paper's
+// targets: OpenFlow rules using tags to pin forwarding paths
+// (FlowTags-style) plus QoS queue configurations, tc/iptables commands for
+// host-side rate limits and filters, Click configurations for middlebox
+// packet-processing functions, and end-host interpreter programs. New
+// device families (P4, eBPF, vendor CLIs) plug in by implementing Backend
+// against the same IR.
 package codegen
 
 import (
 	"fmt"
 	"math"
-	"sort"
-	"strings"
 
 	"merlin/internal/logical"
 	"merlin/internal/openflow"
-	"merlin/internal/packet"
 	"merlin/internal/policy"
 	"merlin/internal/pred"
 	"merlin/internal/sinktree"
@@ -64,7 +68,8 @@ type HostCommand struct {
 	Command string
 }
 
-// QueueConfig is one switch-port QoS queue reservation.
+// QueueConfig is one switch-port QoS queue reservation. It doubles as the
+// IR's queue section: the reservation is already target-neutral.
 type QueueConfig struct {
 	Switch topo.NodeID
 	Port   topo.LinkID
@@ -80,14 +85,16 @@ type ClickConfig struct {
 	Config string
 }
 
-// Output is everything the compiler emits for the dataplane.
+// Output is everything the default built-in backends emit for the
+// dataplane — the legacy aggregate form, assembled from the per-backend
+// artifacts by AssembleOutput.
 type Output struct {
 	Rules    []openflow.Rule
 	Queues   []QueueConfig
 	TC       []HostCommand
 	IPTables []HostCommand
 	Click    []ClickConfig
-	// Tags maps statement IDs to the VLAN tags allocated for them.
+	// Tags maps statement IDs to the tags allocated for them.
 	Tags map[string][]int
 }
 
@@ -110,324 +117,29 @@ func (o *Output) Counts() Counts {
 // Total is the grand instruction total.
 func (c Counts) Total() int { return c.OpenFlow + c.Queues + c.TC + c.IPTables + c.Click }
 
-// generator carries emission state.
-type generator struct {
-	t   *topo.Topology
-	ids *topo.IdentityTable
-	out *Output
-	// bound dedups forwarding rules: (switch, vlan, inPort) → rule index.
-	bound map[ruleKey]int
-	// classBound dedups classification rules.
-	classBound map[classKey]bool
-	// queueBound dedups queue configs and allocates queue ids per port.
-	queueBound map[queueKey]bool
-	queueNext  map[topo.LinkID]int
-	nextTag    int
-	// scratch buffers reused across plans
-	locBuf  []topo.NodeID
-	stepBuf []logical.Step
-}
-
-// byPriority sorts plans by descending priority, stably.
-type byPriority []Plan
-
-func (p byPriority) Len() int           { return len(p) }
-func (p byPriority) Less(i, j int) bool { return p[i].Priority > p[j].Priority }
-func (p byPriority) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
-
-type ruleKey struct {
-	sw   topo.NodeID
-	vlan int
-	in   topo.LinkID
-}
-
-// classKey identifies a classification rule: what selects the traffic
-// (destination MAC or rendered cube predicate) at a (switch, tag).
-type classKey struct {
-	sw   topo.NodeID
-	vlan int
-	sel  string
-}
-
-type queueKey struct {
-	sw     topo.NodeID
-	port   topo.LinkID
-	minBps float64
-}
-
-// Generate emits configuration for all plans.
+// Generate lowers plans to the IR and emits the default dataplane
+// backends (OpenFlow, tc/iptables, Click), assembled into the legacy
+// Output. It is byte-identical to the pre-registry monolithic generator;
+// callers wanting per-backend artifacts (or non-default targets such as
+// P4) should call Lower and the backends directly.
 func Generate(t *topo.Topology, plans []Plan) (*Output, error) {
-	g := &generator{
-		t:          t,
-		ids:        t.Identities(),
-		out:        &Output{Tags: map[string][]int{}, Rules: make([]openflow.Rule, 0, 2*len(plans))},
-		bound:      map[ruleKey]int{},
-		classBound: map[classKey]bool{},
-		queueBound: map[queueKey]bool{},
-		queueNext:  map[topo.LinkID]int{},
-		nextTag:    2, // VLAN IDs 0/1 are reserved on real switches
+	prog, err := Lower(t, plans)
+	if err != nil {
+		return nil, err
 	}
-	// Stable order: guaranteed paths first (their classification has
-	// higher effective priority anyway), then by ID.
-	ordered := append([]Plan(nil), plans...)
-	sort.Stable(byPriority(ordered))
-	// Tree tag sharing: plans pointing at the same sink tree share tags.
-	treeTags := map[*sinktree.Tree]int{}
-	for _, p := range ordered {
-		switch {
-		case p.Drop:
-			g.emitDrop(p)
-		case p.Path != nil:
-			if err := g.emitPath(p, p.Path, g.allocTag(p.ID), true); err != nil {
-				return nil, fmt.Errorf("codegen: statement %s: %w", p.ID, err)
-			}
-		case p.Tree != nil:
-			tag, ok := treeTags[p.Tree]
-			if !ok {
-				tag = g.allocTag(p.ID)
-				treeTags[p.Tree] = tag
-			} else {
-				g.out.Tags[p.ID] = append(g.out.Tags[p.ID], tag)
-			}
-			steps := p.Tree.PathFromBuf(g.stepBuf, p.SrcHost)
-			if steps == nil {
-				return nil, fmt.Errorf("codegen: statement %s: %s cannot reach %s under the path constraint",
-					p.ID, t.Node(p.SrcHost).Name, t.Node(p.DstHost).Name)
-			}
-			if err := g.emitPath(p, steps, tag, false); err != nil {
-				return nil, fmt.Errorf("codegen: statement %s: %w", p.ID, err)
-			}
-			if cap(steps) > cap(g.stepBuf) {
-				g.stepBuf = steps[:0]
-			}
-		default:
-			return nil, fmt.Errorf("codegen: statement %s has neither path nor tree", p.ID)
-		}
-		g.emitHostConfig(p)
-	}
-	return g.out, nil
-}
-
-func (g *generator) allocTag(id string) int {
-	tag := g.nextTag
-	g.nextTag++
-	if g.nextTag >= 4095 {
-		panic("codegen: VLAN tag space exhausted")
-	}
-	g.out.Tags[id] = append(g.out.Tags[id], tag)
-	return tag
-}
-
-// emitDrop installs an edge filter at the source host's ingress switch.
-func (g *generator) emitDrop(p Plan) {
-	att, ok := g.t.Attachment(p.SrcHost)
-	if !ok {
-		return
-	}
-	cubes, err := pred.PositiveCubes(p.Predicate)
-	if err != nil || len(cubes) == 0 {
-		cubes = [][]pred.Test{nil}
-	}
-	for range cubes {
-		g.out.Rules = append(g.out.Rules, openflow.Rule{
-			Switch:   att,
-			Priority: 1000 + p.Priority,
-			Match:    openflow.Match{InPort: openflow.MatchAny, VLAN: packet.VLANNone, Predicate: p.Predicate},
-			Actions:  []openflow.Action{openflow.Drop{}},
-		})
-	}
-	ident, _ := g.ids.Of(p.SrcHost)
-	g.out.IPTables = append(g.out.IPTables, HostCommand{
-		Host: p.SrcHost,
-		Kind: "iptables",
-		Command: fmt.Sprintf("iptables -A OUTPUT -m merlin --stmt %s -s %s -j DROP",
-			p.ID, ident.IP),
-	})
-}
-
-// emitPath walks a physical path and emits tag-switched forwarding rules,
-// classification at the ingress switch, queue configurations for
-// guarantees, and Click configurations for middlebox function placements.
-func (g *generator) emitPath(p Plan, steps []logical.Step, tag int, guaranteed bool) error {
-	locs := logical.AppendLocations(g.locBuf, steps)
-	g.locBuf = locs
-	if len(locs) < 2 {
-		return fmt.Errorf("degenerate path")
-	}
-	if g.t.Node(locs[0]).Kind != topo.Host || g.t.Node(locs[len(locs)-1]).Kind != topo.Host {
-		return fmt.Errorf("path endpoints must be hosts")
-	}
-	// Click configs for middlebox placements; host placements run on the
-	// end-host Click substrate too.
-	for _, pl := range logical.PlacementsOf(steps) {
-		g.out.Click = append(g.out.Click, ClickConfig{
-			Node:   pl.Loc,
-			Fn:     pl.Fn,
-			Config: fmt.Sprintf("%s :: %s(STMT %s);", pl.Fn, strings.ToUpper(pl.Fn), p.ID),
-		})
-	}
-	curTag := tag
-	classified := false
-	for i := 1; i < len(locs)-1; i++ {
-		node := locs[i]
-		if g.t.Node(node).Kind != topo.Switch {
-			continue // middlebox hops bounce; host interiors impossible
-		}
-		inLink, ok := g.t.FindLink(locs[i-1], node)
+	arts := make(map[string]Artifact, 3)
+	for _, name := range []string{TargetOpenFlow, TargetTC, TargetClick} {
+		b, ok := Lookup(name)
 		if !ok {
-			return fmt.Errorf("no link %s-%s", g.t.Node(locs[i-1]).Name, g.t.Node(node).Name)
+			return nil, fmt.Errorf("codegen: built-in backend %q not registered", name)
 		}
-		outLink, ok := g.t.FindLink(node, locs[i+1])
-		if !ok {
-			return fmt.Errorf("no link %s-%s", g.t.Node(node).Name, g.t.Node(locs[i+1]).Name)
+		art, err := b.Emit(t, prog)
+		if err != nil {
+			return nil, fmt.Errorf("codegen: backend %s: %w", name, err)
 		}
-		last := i == len(locs)-2
-		var fwd openflow.Action = openflow.Output{Port: outLink.ID}
-		if guaranteed {
-			q := g.queueFor(node, outLink.ID, p.Alloc.Min)
-			fwd = openflow.Enqueue{Port: outLink.ID, Queue: q}
-		}
-		if !classified {
-			// Ingress classification: untagged packets matching the
-			// statement's predicate get the path tag.
-			g.emitClassification(p, node, inLink.ID, curTag, fwd, last)
-			classified = true
-			continue
-		}
-		key := ruleKey{sw: node, vlan: curTag, in: inLink.ID}
-		actions := []openflow.Action{fwd}
-		if last {
-			actions = []openflow.Action{openflow.StripVLAN{}, fwd}
-		}
-		if idx, exists := g.bound[key]; exists {
-			if !sameActions(g.out.Rules[idx].Actions, actions) {
-				// Conflict: this (switch, tag, port) already forwards
-				// elsewhere. Retag the previous hop onto a fresh tag.
-				fresh := g.allocTag(p.ID)
-				if err := g.retagPrevious(p, locs, i, curTag, fresh); err != nil {
-					return err
-				}
-				curTag = fresh
-				key.vlan = curTag
-				g.out.Rules = append(g.out.Rules, openflow.Rule{
-					Switch:   node,
-					Priority: 500,
-					Match:    openflow.Match{InPort: inLink.ID, VLAN: curTag},
-					Actions:  actions,
-				})
-				g.bound[key] = len(g.out.Rules) - 1
-			}
-			continue
-		}
-		g.out.Rules = append(g.out.Rules, openflow.Rule{
-			Switch:   node,
-			Priority: 500,
-			Match:    openflow.Match{InPort: inLink.ID, VLAN: curTag},
-			Actions:  actions,
-		})
-		g.bound[key] = len(g.out.Rules) - 1
+		arts[name] = art
 	}
-	if !classified {
-		return fmt.Errorf("path contains no switch")
-	}
-	return nil
-}
-
-// retagPrevious rewrites the rule emitted for the hop before position i so
-// the packet arrives with the fresh tag.
-func (g *generator) retagPrevious(p Plan, locs []topo.NodeID, i, oldTag, fresh int) error {
-	// Find the previous switch hop.
-	for j := i - 1; j >= 1; j-- {
-		if g.t.Node(locs[j]).Kind != topo.Switch {
-			continue
-		}
-		inLink, _ := g.t.FindLink(locs[j-1], locs[j])
-		key := ruleKey{sw: locs[j], vlan: oldTag, in: inLink.ID}
-		idx, ok := g.bound[key]
-		if !ok {
-			return fmt.Errorf("retag: no prior rule at %s", g.t.Node(locs[j]).Name)
-		}
-		rule := &g.out.Rules[idx]
-		rule.Actions = append([]openflow.Action{openflow.SetVLAN{VLAN: fresh}}, rule.Actions...)
-		return nil
-	}
-	return fmt.Errorf("retag: no prior switch hop")
-}
-
-// emitClassification installs the ingress rules mapping untagged packets
-// of the statement onto the path tag.
-func (g *generator) emitClassification(p Plan, sw topo.NodeID, in topo.LinkID, tag int, fwd openflow.Action, last bool) {
-	actions := []openflow.Action{openflow.SetVLAN{VLAN: tag}, fwd}
-	if last {
-		// Single-switch path: tag would be stripped immediately; skip
-		// tagging altogether.
-		actions = []openflow.Action{fwd}
-	}
-	switch p.Classify {
-	case ByDestination:
-		ident, _ := g.ids.Of(p.DstHost)
-		key := classKey{sw: sw, vlan: tag, sel: ident.MAC}
-		if g.classBound[key] {
-			return
-		}
-		g.classBound[key] = true
-		g.out.Rules = append(g.out.Rules, openflow.Rule{
-			Switch:   sw,
-			Priority: 100 + p.Priority,
-			Match:    openflow.Match{InPort: openflow.MatchAny, VLAN: packet.VLANNone, EthDst: ident.MAC},
-			Actions:  actions,
-		})
-	default:
-		cubes, err := pred.PositiveCubes(p.Predicate)
-		exact := err != nil // expansion too large: match the full predicate in one rule
-		if len(cubes) == 0 {
-			cubes = [][]pred.Test{nil}
-		}
-		for _, cube := range cubes {
-			cubePred := cubeToPred(cube)
-			if exact {
-				cubePred = p.Predicate
-			}
-			key := classKey{sw: sw, vlan: tag, sel: "p/" + pred.Format(cubePred)}
-			if g.classBound[key] {
-				continue
-			}
-			g.classBound[key] = true
-			g.out.Rules = append(g.out.Rules, openflow.Rule{
-				Switch:   sw,
-				Priority: 100 + p.Priority,
-				Match:    openflow.Match{InPort: in, VLAN: packet.VLANNone, Predicate: cubePred},
-				Actions:  actions,
-			})
-		}
-	}
-}
-
-func cubeToPred(cube []pred.Test) pred.Pred {
-	ps := make([]pred.Pred, len(cube))
-	for i, t := range cube {
-		ps[i] = t
-	}
-	return pred.Conj(ps...)
-}
-
-// queueFor allocates (or reuses) a QoS queue on the given port with the
-// statement's guaranteed rate.
-func (g *generator) queueFor(sw topo.NodeID, port topo.LinkID, minBps float64) int {
-	key := queueKey{sw: sw, port: port, minBps: minBps}
-	if g.queueBound[key] {
-		// Reuse: find the existing config.
-		for _, q := range g.out.Queues {
-			if q.Switch == sw && q.Port == port && q.MinBps == minBps {
-				return q.Queue
-			}
-		}
-	}
-	g.queueBound[key] = true
-	q := g.queueNext[port] + 1
-	g.queueNext[port] = q
-	g.out.Queues = append(g.out.Queues, QueueConfig{Switch: sw, Port: port, Queue: q, MinBps: minBps})
-	return q
+	return AssembleOutput(arts), nil
 }
 
 // CapApplies reports whether a statement cap emits a host-side tc
@@ -435,7 +147,7 @@ func (g *generator) queueFor(sw topo.NodeID, port topo.LinkID, minBps float64) i
 func CapApplies(maxBps float64) bool { return maxBps != 0 && !math.IsInf(maxBps, 1) }
 
 // CapCommand renders the tc command enforcing a statement's bandwidth
-// cap at its source host. It is shared between Generate and the
+// cap at its source host. It is shared between the tc backend and the
 // incremental compiler's caps-only patch path so the two stay
 // byte-identical.
 func CapCommand(host topo.NodeID, id string, maxBps float64) HostCommand {
@@ -445,23 +157,4 @@ func CapCommand(host topo.NodeID, id string, maxBps float64) HostCommand {
 		Command: fmt.Sprintf("tc class add dev eth0 parent 1: classid 1:%s htb rate %.0fkbit ceil %.0fkbit",
 			id, maxBps/1e3, maxBps/1e3),
 	}
-}
-
-// emitHostConfig generates tc caps and iptables markers at the source host.
-func (g *generator) emitHostConfig(p Plan) {
-	if CapApplies(p.Alloc.Max) {
-		g.out.TC = append(g.out.TC, CapCommand(p.SrcHost, p.ID, p.Alloc.Max))
-	}
-}
-
-func sameActions(a, b []openflow.Action) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }

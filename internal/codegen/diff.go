@@ -38,6 +38,12 @@ type Diff struct {
 	// Result, not the Output, so DiffOutputs cannot see them.
 	InstallPrograms []ProgramChange
 	RemovePrograms  []ProgramChange
+
+	// Backends holds the native-form deltas of non-builtin targets
+	// (e.g. "p4" table entries), keyed by backend name — each computed
+	// by that backend's Diff from its own artifacts. Built-in backends
+	// use the typed sections above instead.
+	Backends map[string]ArtifactDiff
 }
 
 // ProgramChange is one host's end-host interpreter program to install or
@@ -47,8 +53,13 @@ type ProgramChange struct {
 	Program *interp.Program
 }
 
-// Empty reports whether the diff changes nothing.
+// Empty reports whether the diff changes nothing on any backend.
 func (d *Diff) Empty() bool {
+	for _, bd := range d.Backends {
+		if !bd.Empty() {
+			return false
+		}
+	}
 	return len(d.InstallRules) == 0 && len(d.RemoveRules) == 0 &&
 		len(d.InstallQueues) == 0 && len(d.RemoveQueues) == 0 &&
 		len(d.InstallTC) == 0 && len(d.RemoveTC) == 0 &&
@@ -115,6 +126,14 @@ func (d *Diff) Devices() []topo.NodeID {
 	}
 	for _, p := range d.RemovePrograms {
 		add(p.Host)
+	}
+	for _, bd := range d.Backends {
+		for _, e := range bd.Install {
+			add(e.Device)
+		}
+		for _, e := range bd.Remove {
+			add(e.Device)
+		}
 	}
 	out := make([]topo.NodeID, 0, len(seen))
 	for n := range seen {

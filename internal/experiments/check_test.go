@@ -68,9 +68,10 @@ func TestCheckRegressionsFlagsMissing(t *testing.T) {
 }
 
 // TestCommittedBaselineCoversAcceptance pins the committed baseline file:
-// it must parse, and it must gate every experiment the issue names —
-// table7, incremental, sharding, and failover — with the failover floor
-// high enough that the ≥5x acceptance bar survives the default tolerance.
+// it must parse, and it must gate every recorded speedup experiment —
+// table7, incremental, sharding, failover, and codegen — with the
+// failover floor high enough that the ≥5x acceptance bar survives the
+// default tolerance.
 func TestCommittedBaselineCoversAcceptance(t *testing.T) {
 	base, err := LoadBenchFile(filepath.Join("..", "..", "BENCH_baseline.json"))
 	if err != nil {
@@ -84,7 +85,7 @@ func TestCommittedBaselineCoversAcceptance(t *testing.T) {
 			}
 		}
 	}
-	for _, name := range []string{"table7", "incremental", "sharding", "failover"} {
+	for _, name := range []string{"table7", "incremental", "sharding", "failover", "codegen"} {
 		if gated[name] == 0 {
 			t.Errorf("baseline gates no %s speedup", name)
 		}

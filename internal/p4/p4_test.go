@@ -1,0 +1,194 @@
+package p4_test
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	merlin "merlin"
+	"merlin/internal/codegen"
+	"merlin/internal/p4"
+	"merlin/internal/topo"
+	"merlin/internal/zoo"
+)
+
+// knownTables and the action-name shape define what "valid" means for the
+// fixed merlin.p4 pipeline the backend targets.
+var knownTables = map[string]bool{
+	p4.TableClassifier: true,
+	p4.TableForward:    true,
+	p4.TableQueue:      true,
+}
+
+var (
+	actionName = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+	paramForm  = regexp.MustCompile(`^[a-z_]+=`)
+)
+
+// validateArtifact structurally checks every emitted table entry.
+func validateArtifact(t *testing.T, tp *topo.Topology, art *p4.Artifact) {
+	t.Helper()
+	if art.Count() != len(art.TableEntries) {
+		t.Fatalf("Count %d != entries %d", art.Count(), len(art.TableEntries))
+	}
+	for i, e := range art.TableEntries {
+		if !knownTables[e.Table] {
+			t.Fatalf("entry %d: unknown table %q", i, e.Table)
+		}
+		if tp.Node(e.Device).Kind != topo.Switch {
+			t.Fatalf("entry %d: device %d is not a switch", i, e.Device)
+		}
+		if !actionName.MatchString(e.Action) {
+			t.Fatalf("entry %d: malformed action %q", i, e.Action)
+		}
+		for _, p := range e.Params {
+			if !paramForm.MatchString(p) {
+				t.Fatalf("entry %d: malformed param %q", i, p)
+			}
+		}
+		for _, m := range e.Match {
+			if !strings.Contains(m, "=") {
+				t.Fatalf("entry %d: malformed match key %q", i, m)
+			}
+		}
+		switch e.Table {
+		case p4.TableClassifier:
+			for _, m := range e.Match {
+				if strings.HasPrefix(m, "tag=") {
+					t.Fatalf("entry %d: classifier matches a tag: %s", i, e)
+				}
+			}
+		case p4.TableForward:
+			if !strings.Contains(strings.Join(e.Match, ","), "tag=") {
+				t.Fatalf("entry %d: forward entry without a tag match: %s", i, e)
+			}
+		case p4.TableQueue:
+			if e.Action != "set_min_rate" {
+				t.Fatalf("entry %d: queue entry action %q", i, e.Action)
+			}
+		}
+	}
+}
+
+// TestEmitPaperExample validates the backend's output on the §2 running
+// example: classification, tag forwarding, and queue reservations all
+// present and structurally valid.
+func TestEmitPaperExample(t *testing.T) {
+	tp := merlin.Example(merlin.Gbps)
+	ids := tp.Identities()
+	h1, _ := ids.Of(tp.MustLookup("h1"))
+	h2, _ := ids.Of(tp.MustLookup("h2"))
+	src := `
+[ x : (eth.src = ` + h1.MAC + ` and eth.dst = ` + h2.MAC + ` and tcp.dst = 20) -> .* dpi .*
+  z : (eth.src = ` + h1.MAC + ` and eth.dst = ` + h2.MAC + ` and tcp.dst = 80) -> .* at min(10MB/s) ],
+max(x, 50MB/s)
+`
+	pol, err := merlin.ParsePolicy(src, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := merlin.Compile(pol, tp, merlin.Placement{"dpi": {"m1"}},
+		merlin.Options{Targets: append(merlin.DefaultTargets(), p4.Name)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, ok := res.Outputs[p4.Name].(*p4.Artifact)
+	if !ok || art.Count() == 0 {
+		t.Fatalf("no p4 artifact emitted: %T", res.Outputs[p4.Name])
+	}
+	validateArtifact(t, tp, art)
+	tables := map[string]int{}
+	for _, e := range art.TableEntries {
+		tables[e.Table]++
+	}
+	if tables[p4.TableClassifier] == 0 || tables[p4.TableForward] == 0 || tables[p4.TableQueue] == 0 {
+		t.Fatalf("pipeline tables not all populated: %v", tables)
+	}
+	// The guarantee's queued hops must surface as forward_queue actions.
+	queued := false
+	for _, e := range art.TableEntries {
+		if strings.Contains(e.Action, "forward_queue") {
+			queued = true
+		}
+	}
+	if !queued {
+		t.Fatal("guarantee emitted no queued forward action")
+	}
+}
+
+// TestEmitDeterministic asserts two emissions of the same IR are
+// identical — the property the incremental differ depends on.
+func TestEmitDeterministic(t *testing.T) {
+	tp := merlin.FatTree(4, merlin.Gbps)
+	pol, err := merlin.ParsePolicy(`foreach (s,d) in cross(hosts,hosts): .*`, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := merlin.Options{Targets: append(merlin.DefaultTargets(), p4.Name)}
+	a, err := merlin.Compile(pol, tp, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := codegen.Lookup(p4.Name)
+	if !ok {
+		t.Fatal("p4 backend not registered")
+	}
+	re, err := b.Emit(tp, a.IR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := b.Diff(a.Outputs[p4.Name], re); !d.Empty() {
+		t.Fatalf("re-emission of the same IR diffs: %d install / %d remove", len(d.Install), len(d.Remove))
+	}
+}
+
+// TestZooSmoke compiles a two-statement policy (one guarantee, one path
+// constraint) with the p4 target across the synthetic Topology Zoo and
+// validates every emitted entry. -short samples the families sparsely;
+// the full sweep covers every 10th network.
+func TestZooSmoke(t *testing.T) {
+	stride := 10
+	if testing.Short() {
+		stride = 64
+	}
+	entries := zoo.Entries()
+	for i := 0; i < len(entries); i += stride {
+		e := entries[i]
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			tp := zoo.Generate(e.Index, 2)
+			hosts := tp.Hosts()
+			if len(hosts) < 2 {
+				t.Skipf("%s: only %d hosts", e.Name, len(hosts))
+			}
+			ids := tp.Identities()
+			a, _ := ids.Of(hosts[0])
+			b, _ := ids.Of(hosts[len(hosts)-1])
+			src := fmt.Sprintf(`
+[ g : (eth.src = %s and eth.dst = %s) -> .* at min(5Mbps)
+  p : (eth.src = %s and eth.dst = %s) -> .* ]`, a.MAC, b.MAC, b.MAC, a.MAC)
+			pol, err := merlin.ParsePolicy(src, tp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := merlin.Options{
+				NoDefault: true,
+				Greedy:    e.Switches > 100,
+				Targets:   append(merlin.DefaultTargets(), p4.Name),
+			}
+			res, err := merlin.Compile(pol, tp, nil, opts)
+			if err != nil {
+				t.Fatalf("%s (%s, %d switches): compile: %v", e.Name, e.Family, e.Switches, err)
+			}
+			art, ok := res.Outputs[p4.Name].(*p4.Artifact)
+			if !ok || art.Count() == 0 {
+				t.Fatalf("%s: no p4 entries", e.Name)
+			}
+			validateArtifact(t, tp, art)
+			if want := len(res.IR.Rules) + len(res.IR.Queues); art.Count() != want {
+				t.Fatalf("%s: %d entries, want %d", e.Name, art.Count(), want)
+			}
+		})
+	}
+}

@@ -33,6 +33,22 @@
 //	install, remove := diff.Counts()
 //	fmt.Println(install.Total(), remove.Total())
 //
+// Code generation is pluggable: the compiler lowers every policy into a
+// target-neutral IR (Program) and registered dataplane backends render
+// it. Options.Targets selects the backends; the default set reproduces
+// the paper's output exactly, and the bundled "p4" backend emits P4
+// table entries from the same IR:
+//
+//	opts := merlin.Options{Targets: []string{"openflow", "tc", "click", "host", "p4"}}
+//	res, _ := merlin.Compile(pol, t, place, opts)
+//	for _, e := range res.Outputs["p4"].Entries() {
+//		fmt.Println(e.Device, e.Text) // P4 table entries, per switch
+//	}
+//
+// New device families plug in with merlin.RegisterBackend — implement
+// Name/Emit/Diff against the IR and every compile, incremental update,
+// and failure reroute routes per-backend diffs to it.
+//
 // Dynamic adaptation (§4 of the paper) is exposed through NewNegotiator,
 // Delegate, Propose, and Reallocate; Compiler.Watch binds a compiler to a
 // negotiator so every accepted negotiation tick drives an incremental
@@ -50,12 +66,18 @@
 package merlin
 
 import (
+	"merlin/internal/codegen"
 	"merlin/internal/negotiate"
 	"merlin/internal/policy"
 	"merlin/internal/pred"
 	"merlin/internal/provision"
 	"merlin/internal/topo"
 	"merlin/internal/verify"
+
+	// Bundled non-default backends register themselves with the codegen
+	// registry; importing them here makes every target name in their
+	// packages available to Options.Targets out of the box.
+	_ "merlin/internal/p4"
 )
 
 // Re-exported core types. The internal packages carry the implementation;
@@ -75,6 +97,26 @@ type (
 	Pred = pred.Pred
 	// Negotiator is a node of the run-time negotiator tree.
 	Negotiator = negotiate.Negotiator
+	// Program is the target-neutral codegen IR every backend emits from.
+	Program = codegen.Program
+	// Backend is one pluggable dataplane target (Name / Emit / Diff).
+	Backend = codegen.Backend
+	// Artifact is one backend's emitted configuration.
+	Artifact = codegen.Artifact
+	// ArtifactDiff is a backend's install/remove delta in native form.
+	ArtifactDiff = codegen.ArtifactDiff
+)
+
+// Backend registry, re-exported from the codegen substrate: new device
+// families register once and become valid Options.Targets names.
+var (
+	RegisterBackend = codegen.Register
+	LookupBackend   = codegen.Lookup
+	BackendNames    = codegen.Names
+	DefaultTargets  = codegen.DefaultTargets
+	// IsBuiltinTarget reports whether a target's output lands in the
+	// legacy Output/typed-Diff sections (vs Outputs/Diff.Backends).
+	IsBuiltinTarget = codegen.IsBuiltin
 )
 
 // Capacity units (bits per second).

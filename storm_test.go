@@ -1,0 +1,169 @@
+package merlin
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWatchTopoDebounceCoalescesStorm covers the correlated-failure
+// story: a switch dies and its loss-of-light link alarms trickle in
+// moments later. With Options.TopoDebounce set, WatchTopo holds the batch
+// open across the trickle, so the storm costs one invalidation sweep and
+// one recompile — three events, one Update, one diff.
+func TestWatchTopoDebounceCoalescesStorm(t *testing.T) {
+	tp := FatTree(4, Gbps)
+	pol, err := ParsePolicy(`foreach (s,d) in cross(hosts,hosts): .*`, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCompiler(tp, nil, Options{NoDefault: true, TopoDebounce: 2 * time.Second})
+	if _, err := c.Compile(pol); err != nil {
+		t.Fatal(err)
+	}
+	base := c.Stats()
+
+	var (
+		mu    sync.Mutex
+		diffs int
+		errs  []error
+	)
+	events := make(chan TopoEvent)
+	done := c.WatchTopo(events,
+		func(*Diff) { mu.Lock(); diffs++; mu.Unlock() },
+		func(err error) { mu.Lock(); errs = append(errs, err); mu.Unlock() })
+
+	// The storm: the switch failure, then the (already-down) link alarms
+	// arriving shortly after — inside the debounce window.
+	events <- SwitchFailure("agg0_0")
+	time.Sleep(10 * time.Millisecond)
+	events <- LinkFailure("agg0_0", "edge0_0")
+	time.Sleep(10 * time.Millisecond)
+	events <- LinkFailure("agg0_0", "edge0_1")
+	close(events) // closing ends the collection window immediately
+	<-done
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(errs) != 0 {
+		t.Fatalf("storm produced errors: %v", errs)
+	}
+	if diffs != 1 {
+		t.Fatalf("storm produced %d diffs, want 1 coalesced batch", diffs)
+	}
+	st := c.Stats()
+	if st.Updates != base.Updates+1 {
+		t.Fatalf("storm cost %d updates, want 1", st.Updates-base.Updates)
+	}
+	if st.TopoEvents != base.TopoEvents+3 {
+		t.Fatalf("applied %d events, want 3", st.TopoEvents-base.TopoEvents)
+	}
+	// One sweep: the switch failure evicts the lone best-effort graph
+	// once; the redundant link alarms are no-ops.
+	if st.GraphsInvalidated != base.GraphsInvalidated+1 {
+		t.Fatalf("storm evicted %d graphs, want 1", st.GraphsInvalidated-base.GraphsInvalidated)
+	}
+}
+
+// TestWatchTopoDebounceSeparateBursts asserts debouncing does not merge
+// bursts separated by more than the window: two failures a full window
+// apart recompile twice.
+func TestWatchTopoDebounceSeparateBursts(t *testing.T) {
+	tp := FatTree(4, Gbps)
+	pol, err := ParsePolicy(`foreach (s,d) in cross(hosts,hosts): .*`, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCompiler(tp, nil, Options{NoDefault: true, TopoDebounce: 20 * time.Millisecond})
+	if _, err := c.Compile(pol); err != nil {
+		t.Fatal(err)
+	}
+	var (
+		mu    sync.Mutex
+		diffs int
+	)
+	events := make(chan TopoEvent)
+	done := c.WatchTopo(events, func(*Diff) { mu.Lock(); diffs++; mu.Unlock() }, nil)
+	events <- LinkFailure("agg0_0", "edge0_0")
+	time.Sleep(300 * time.Millisecond) // well past the window: first batch applies
+	events <- LinkFailure("agg1_0", "edge1_0")
+	close(events)
+	<-done
+	mu.Lock()
+	defer mu.Unlock()
+	if diffs != 2 {
+		t.Fatalf("separated bursts produced %d diffs, want 2", diffs)
+	}
+}
+
+// TestFailureEvictsOnlyIncidentBestEffortGraphs covers selective
+// best-effort invalidation: a link failure evicts only the minimized
+// product graphs (and their sink trees) whose cable incidence touches an
+// affected cable — the same scoping the anchored graphs already get —
+// instead of dropping the caches wholesale.
+func TestFailureEvictsOnlyIncidentBestEffortGraphs(t *testing.T) {
+	tp := NewTopology()
+	s1 := tp.AddSwitch("s1")
+	s2 := tp.AddSwitch("s2")
+	h1 := tp.AddHost("h1")
+	h2 := tp.AddHost("h2")
+	h3 := tp.AddHost("h3")
+	h4 := tp.AddHost("h4")
+	tp.AddLink(h1, s1, Gbps)
+	tp.AddLink(h2, s1, Gbps)
+	tp.AddLink(h3, s2, Gbps)
+	tp.AddLink(h4, s2, Gbps)
+	tp.AddLink(s1, s2, Gbps)
+
+	ids := tp.Identities()
+	m1, _ := ids.Of(h1)
+	m2, _ := ids.Of(h2)
+	m3, _ := ids.Of(h3)
+	m4, _ := ids.Of(h4)
+	// Statement a is pinned to the s1 island by its path expression, so
+	// its minimized graph never rides the s1-s2 trunk; statement b's .*
+	// graph spans the whole topology.
+	src := `
+[ a : (eth.src = ` + m1.MAC + ` and eth.dst = ` + m2.MAC + `) -> h1 s1 h2
+  b : (eth.src = ` + m3.MAC + ` and eth.dst = ` + m4.MAC + `) -> .* ]`
+	pol, err := ParsePolicy(src, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCompiler(tp, nil, Options{NoDefault: true})
+	if _, err := c.Compile(pol); err != nil {
+		t.Fatal(err)
+	}
+	base := c.Stats()
+	if base.GraphBuilds != 2 || base.TreeBuilds != 2 {
+		t.Fatalf("baseline built %d graphs / %d trees, want 2/2", base.GraphBuilds, base.TreeBuilds)
+	}
+
+	// Failing the trunk affects only statement b's graph; both hosts of
+	// each statement stay connected, so the recompile succeeds.
+	if _, err := c.ApplyTopo(LinkFailure("s1", "s2")); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.GraphsInvalidated != base.GraphsInvalidated+1 {
+		t.Fatalf("evicted %d best-effort graphs, want only b's 1", st.GraphsInvalidated-base.GraphsInvalidated)
+	}
+	if st.TreesInvalidated != base.TreesInvalidated+1 {
+		t.Fatalf("evicted %d sink trees, want only b's 1", st.TreesInvalidated-base.TreesInvalidated)
+	}
+	if st.GraphBuilds != base.GraphBuilds+1 || st.TreeBuilds != base.TreeBuilds+1 {
+		t.Fatalf("recompile rebuilt %d graphs / %d trees, want 1/1",
+			st.GraphBuilds-base.GraphBuilds, st.TreeBuilds-base.TreeBuilds)
+	}
+
+	// Recovery keeps the documented asymmetry: everything automaton-
+	// derived drops (both graphs, both trees).
+	if _, err := c.ApplyTopo(LinkRecovery("s1", "s2")); err != nil {
+		t.Fatal(err)
+	}
+	st2 := c.Stats()
+	if st2.GraphsInvalidated != st.GraphsInvalidated+2 || st2.TreesInvalidated != st.TreesInvalidated+2 {
+		t.Fatalf("recovery evicted %d graphs / %d trees, want wholesale 2/2",
+			st2.GraphsInvalidated-st.GraphsInvalidated, st2.TreesInvalidated-st.TreesInvalidated)
+	}
+}
