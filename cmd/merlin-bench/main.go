@@ -7,14 +7,15 @@
 // Usage:
 //
 //	merlin-bench -run all
-//	merlin-bench -run fig4,hadoop,fig5,fig6,table7,fig8,fig9,fig10,incremental,sharding,failover,codegen,ablation
+//	merlin-bench -run fig4,hadoop,fig5,fig6,table7,fig8,fig9,fig10,incremental,sharding,solver,failover,codegen,ablation
 //	merlin-bench -run fig6 -zoo-stride 1    # all 262 zoo topologies
 //	merlin-bench -run table7 -json          # also write BENCH_results.json
 //	merlin-bench -check -tolerance 0.25     # gate BENCH_results.json against BENCH_baseline.json
 //
 // -check is the CI perf-regression gate: it compares every speedup
 // recorded in the results (table7's dense/sparse LP ratio, incremental,
-// sharding, failover, codegen's shared-IR ratio) against the committed
+// sharding, solver's legacy-vs-flow-structured ratios, failover,
+// codegen's shared-IR ratio) against the committed
 // baseline floors and exits
 // non-zero when any regresses past the tolerance. Run standalone it reads
 // BENCH_results.json from a previous -json run and gates the full
@@ -38,7 +39,7 @@ const resultsPath = "BENCH_results.json"
 
 func main() {
 	var (
-		run       = flag.String("run", "", "comma-separated experiments: fig4, hadoop, fig5, fig6, table7, fig8, fig9, fig10, incremental, sharding, failover, codegen, ablation (default \"all\", or none with -check)")
+		run       = flag.String("run", "", "comma-separated experiments: fig4, hadoop, fig5, fig6, table7, fig8, fig9, fig10, incremental, sharding, solver, failover, codegen, ablation (default \"all\", or none with -check)")
 		zooStride = flag.Int("zoo-stride", 10, "sample every Nth Topology Zoo network for fig6 (1 = all 262)")
 		jsonOut   = flag.Bool("json", false, "write per-experiment wall-clock and phase timings to "+resultsPath)
 		check     = flag.Bool("check", false, "compare recorded speedups against -baseline and exit non-zero on regression")
@@ -169,6 +170,8 @@ func main() {
 		printed(experiments.Incremental))
 	section("sharding", "monolithic vs sharded provisioning (link-disjoint tenants)",
 		printed(experiments.Sharding))
+	section("solver", "general MIP vs bounded-variable simplex vs network simplex",
+		printed(experiments.Solver))
 	section("failover", "link-failure recovery vs cold recompile (topology dynamics)",
 		printed(experiments.Failover))
 	section("codegen", "shared-IR multi-target emission vs per-target lowering",

@@ -40,6 +40,15 @@ type Options struct {
 	// allocator instead of the exact MIP — the scalable approximation
 	// the ablation benches compare against.
 	Greedy bool
+	// LegacyModel forces the paper-literal provisioning MIP encoding
+	// (explicit per-cable reservation variables and rows) instead of the
+	// compact bounded-variable one, and NoNetflow disables the
+	// network-simplex fast path for flow-structured shards. Both are
+	// measurement escape hatches for the solver benchmarks: the defaults
+	// are strictly faster and provably choose the same optima (see
+	// provision.Params).
+	LegacyModel bool
+	NoNetflow   bool
 	// Workers bounds the worker pool the compiler fans per-statement
 	// product-graph builds and per-destination sink trees out over.
 	// Zero means runtime.NumCPU(); 1 forces the sequential path. Output
@@ -335,7 +344,7 @@ func (c *Compiler) statementStage(run *runState) error {
 			errs[idx] = err
 			return
 		}
-		art.anchored, art.anchoredGen = g, c.alphaGen
+		art.anchored, art.anchoredGen, art.outage = g, c.alphaGen, c.downCables
 		builtGraph[idx] = true
 	})
 	for _, err := range errs {
@@ -468,7 +477,10 @@ func (c *Compiler) solveRequests(requests []provision.Request) (sol *provision.R
 		sol, err = provision.Greedy(c.t, requests)
 		c.stats.Solves++
 	default:
-		params := provision.Params{MIP: c.opts.MIP, Workers: c.opts.Workers}
+		params := provision.Params{
+			MIP: c.opts.MIP, Workers: c.opts.Workers,
+			LegacyModel: c.opts.LegacyModel, NoNetflow: c.opts.NoNetflow,
+		}
 		if cached != nil && !cached.greedy && cached.heuristic == c.opts.Heuristic && cached.res != nil {
 			// Shard-level reuse: unchanged shards are served outright and
 			// rates-only-changed shards re-solve warm-started from their
@@ -484,6 +496,8 @@ func (c *Compiler) solveRequests(requests []provision.Request) (sol *provision.R
 			c.stats.ShardsSolved += sol.ShardsSolved
 			c.stats.ShardsWarm += sol.ShardsWarm
 			c.stats.ShardsReused += sol.ShardsReused
+			c.stats.NetflowShards += sol.NetflowShards
+			c.stats.BnBNodes += sol.Nodes
 			switch {
 			case sol.ShardsSolved > 0:
 				c.stats.Solves++
@@ -572,7 +586,7 @@ func (c *Compiler) bestEffortStage(run *runState, plans []codegen.Plan) ([]codeg
 			graphErrs[mi] = err
 			return
 		}
-		graphs[i] = &graphArtifact{g: g, hasTags: regex.HasTags(keyExpr[i]), gen: c.alphaGen}
+		graphs[i] = &graphArtifact{g: g, hasTags: regex.HasTags(keyExpr[i]), gen: c.alphaGen, outage: c.downCables}
 	})
 	// Missing keys are visited in first-seen (statement) order, so the
 	// first failed key matches the sequential compiler's error.

@@ -206,12 +206,18 @@ func (e *topoEventError) Unwrap() error { return e.err }
 //     exactly). Shard-local re-provisioning follows from the graph
 //     identity checks: rebuilt graphs force a cold shard solve, untouched
 //     shards are served from the previous solution.
-//   - LinkUp/SwitchUp: restored connectivity can add edges to any product
-//     graph, including graphs built before the failure, so every
-//     automaton-derived artifact and the provisioning solution are
-//     dropped. The recovery tick pays near-full-compile cost once — the
-//     same asymmetry as an alphabet-growing delta — and returns to
-//     incremental speed.
+//   - LinkUp/SwitchUp: invalidation is selective here too, by outage
+//     stamp. Every product graph records the cables that were down when
+//     it was built; a recovery evicts exactly the graphs whose stamp
+//     contains a restored cable. The others cannot gain edges from the
+//     restoration: a graph built while the cable was live either already
+//     rides it — in which case the failure evicted it and its rebuild
+//     carries the outage stamp — or provably never could. The
+//     provisioning artifact is kept: surviving graphs have no edges on
+//     restored cables, so their shards reuse outright, and rebuilt graphs
+//     force cold shard solves through the graph identity checks. A
+//     recovery tick thus costs what the matching failure tick cost,
+//     not a near-full recompile.
 func (c *Compiler) applyTopoEvents(events []TopoEvent) error {
 	type resolved struct {
 		ev   TopoEvent
@@ -275,26 +281,60 @@ func (c *Compiler) applyTopoEvents(events []TopoEvent) error {
 			continue
 		}
 		c.tainted = true
+		cables := make(map[topo.LinkID]bool, len(im.Cables))
+		for _, cb := range im.Cables {
+			cables[cb] = true
+		}
+		// Maintain the down-cable set copy-on-write: artifacts stamped with
+		// the old map must keep seeing the outage as it was at their build.
+		next := make(map[topo.LinkID]bool, len(c.downCables)+len(im.Cables))
+		for cb := range c.downCables {
+			if !up || !cables[cb] {
+				next[cb] = true
+			}
+		}
+		if !up {
+			for _, cb := range im.Cables {
+				next[cb] = true
+			}
+		}
+		if len(next) == 0 {
+			next = nil
+		}
+		c.downCables = next
 		if up {
-			// Restored connectivity can add edges to any artifact,
-			// including ones built before the failure: drop everything
-			// automaton-derived.
+			// Selective recovery: evict exactly the artifacts built while a
+			// restored cable was down — only they can gain edges from the
+			// restoration. Anything else saw the cable live when it was
+			// built and already proved it cannot ride it (or was evicted by
+			// the failure and rebuilt with an outage stamp).
 			for _, art := range c.stmts {
-				if art.anchored != nil {
+				if art.anchored != nil && outageIntersects(art.outage, cables) {
 					art.anchored = nil
 					c.stats.AnchoredInvalidated++
 				}
 			}
-			c.stats.GraphsInvalidated += len(c.graphs)
-			c.stats.TreesInvalidated += len(c.trees)
-			c.graphs = map[string]*graphArtifact{}
-			c.trees = map[treeKey]*treeArtifact{}
-			c.prov = nil
-		} else {
-			cables := make(map[topo.LinkID]bool, len(im.Cables))
-			for _, cb := range im.Cables {
-				cables[cb] = true
+			var evicted map[string]bool
+			for key, ga := range c.graphs {
+				if !outageIntersects(ga.outage, cables) {
+					continue
+				}
+				delete(c.graphs, key)
+				c.stats.GraphsInvalidated++
+				if evicted == nil {
+					evicted = map[string]bool{}
+				}
+				evicted[key] = true
 			}
+			if evicted != nil {
+				for tk := range c.trees {
+					if evicted[tk.key] {
+						delete(c.trees, tk)
+						c.stats.TreesInvalidated++
+					}
+				}
+			}
+		} else {
 			for _, art := range c.stmts {
 				if art.anchored != nil && graphCrossesCables(c.t, art.anchored, cables) {
 					art.anchored = nil
@@ -330,6 +370,18 @@ func (c *Compiler) applyTopoEvents(events []TopoEvent) error {
 		}
 	}
 	return nil
+}
+
+// outageIntersects reports whether an artifact's outage stamp contains any
+// of the restored cables. Iterates the stamp — outages are small — rather
+// than the impact, whose cable list a switch recovery can make long.
+func outageIntersects(outage, restored map[topo.LinkID]bool) bool {
+	for cb := range outage {
+		if restored[cb] {
+			return true
+		}
+	}
+	return false
 }
 
 // graphCrossesCables reports whether any edge of the product graph rides

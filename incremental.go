@@ -96,6 +96,14 @@ type Compiler struct {
 	// re-dimensioned cable. A failed pass retains the set — stale shard
 	// solutions must not be served by a retry.
 	dirtyCables map[topo.LinkID]bool
+	// downCables is the set of cables currently out of service (failed
+	// links, plus live cables taken down by a failed endpoint switch).
+	// Product-graph artifacts built while it is non-empty are stamped with
+	// it, so a recovery can evict exactly the artifacts built against the
+	// degraded topology. The map is copy-on-write: mutation events install
+	// a fresh map, never edit one a stamped artifact may share. Nil while
+	// the full fabric is live — the common case, making stamps free.
+	downCables map[topo.LinkID]bool
 	// tainted records that the statement cache changed (artifact rebuilt
 	// or pruned) since the last successful pass. A failed pass leaves it
 	// set, so a retry cannot take the codegen patch path against a
@@ -119,6 +127,11 @@ type stmtArtifact struct {
 
 	anchored    *logical.Graph // guaranteed statements' product graph
 	anchoredGen int
+	// outage is the compiler's down-cable set when anchored was built (a
+	// shared immutable map; nil means full connectivity). A recovery evicts
+	// the graph only when it restores a cable in this set — any other graph
+	// already saw the restored cable live and cannot gain edges from it.
+	outage map[topo.LinkID]bool
 }
 
 // graphArtifact caches a minimized best-effort product graph per resolved
@@ -127,6 +140,9 @@ type graphArtifact struct {
 	g       *logical.Graph
 	hasTags bool
 	gen     int
+	// outage mirrors stmtArtifact.outage for the minimized graph; its sink
+	// trees need no stamp of their own because a tree falls with its graph.
+	outage map[topo.LinkID]bool
 }
 
 // treeKey identifies a sink tree: resolved expression key × destination.
@@ -198,10 +214,19 @@ type CompilerStats struct {
 	// GraphsInvalidated and TreesInvalidated count the minimized
 	// best-effort product graphs and sink trees topology events evicted.
 	// Failures evict selectively — only artifacts whose cable incidence
-	// touches an affected cable — while recoveries evict wholesale (the
-	// documented asymmetry: a restored link can add edges anywhere).
+	// touches an affected cable — and recoveries are selective too: each
+	// artifact records the cables that were down when it was built, so a
+	// restored link evicts only the artifacts built while it was out (a
+	// graph built under full connectivity cannot gain edges from a
+	// recovery it never saw fail).
 	GraphsInvalidated int
 	TreesInvalidated  int
+	// NetflowShards counts shard solves served by the network-simplex fast
+	// path (pure node-arc incidence structure, no branch and bound);
+	// BnBNodes totals branch-and-bound nodes explored by the general path.
+	// Together they show where provisioning time actually went.
+	NetflowShards int
+	BnBNodes      int
 }
 
 // NewCompiler creates an incremental compiler bound to a topology,
@@ -212,7 +237,7 @@ type CompilerStats struct {
 // event stales. Mutating the topology behind the compiler's back leaves
 // the caches describing a network that no longer exists.
 func NewCompiler(t *Topology, place Placement, opts Options) *Compiler {
-	return &Compiler{
+	c := &Compiler{
 		t:       t,
 		place:   clonePlacement(place),
 		opts:    opts,
@@ -224,6 +249,17 @@ func NewCompiler(t *Topology, place Placement, opts Options) *Compiler {
 		graphs:  map[string]*graphArtifact{},
 		trees:   map[treeKey]*treeArtifact{},
 	}
+	// A topology handed over mid-outage seeds the down-cable set, so
+	// artifacts built before the first recovery still carry honest stamps.
+	for _, l := range t.Links() {
+		if t.Cable(l.ID) == l.ID && !t.LinkIsUp(l.ID) {
+			if c.downCables == nil {
+				c.downCables = map[topo.LinkID]bool{}
+			}
+			c.downCables[l.ID] = true
+		}
+	}
+	return c
 }
 
 // resolveTargets defaults and deduplicates the requested backend list.

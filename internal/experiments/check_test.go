@@ -85,22 +85,37 @@ func TestCommittedBaselineCoversAcceptance(t *testing.T) {
 			}
 		}
 	}
-	for _, name := range []string{"table7", "incremental", "sharding", "failover", "codegen"} {
+	for _, name := range []string{"table7", "incremental", "sharding", "solver", "failover", "codegen"} {
 		if gated[name] == 0 {
 			t.Errorf("baseline gates no %s speedup", name)
 		}
 	}
 	for _, e := range base.Experiments {
-		if e.Name != "failover" {
-			continue
-		}
-		for _, r := range e.Rows {
-			var floor float64
-			if _, err := fmt.Sscan(r.Values["speedup"], &floor); err != nil {
-				t.Fatalf("failover baseline speedup %q: %v", r.Values["speedup"], err)
+		switch e.Name {
+		case "failover":
+			for _, r := range e.Rows {
+				var floor float64
+				if _, err := fmt.Sscan(r.Values["speedup"], &floor); err != nil {
+					t.Fatalf("failover baseline speedup %q: %v", r.Values["speedup"], err)
+				}
+				if bar := floor * 0.75; bar < 5 {
+					t.Errorf("failover floor %.2f × 0.75 = %.2f lets sub-5x recovery pass the gate", floor, bar)
+				}
 			}
-			if bar := floor * 0.75; bar < 5 {
-				t.Errorf("failover floor %.2f × 0.75 = %.2f lets sub-5x recovery pass the gate", floor, bar)
+		case "solver":
+			// The flow-shard acceptance bar is a ≥3x win over the PR-5
+			// general path: the floor must hold it even at full tolerance.
+			for _, r := range e.Rows {
+				if r.Label != "fattree-k8-flow" {
+					continue
+				}
+				var floor float64
+				if _, err := fmt.Sscan(r.Values["speedup"], &floor); err != nil {
+					t.Fatalf("solver baseline speedup %q: %v", r.Values["speedup"], err)
+				}
+				if bar := floor * 0.75; bar < 3 {
+					t.Errorf("solver flow floor %.2f × 0.75 = %.2f lets sub-3x fast path pass the gate", floor, bar)
+				}
 			}
 		}
 	}

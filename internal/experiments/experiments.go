@@ -311,14 +311,15 @@ func Table7(c Table7Case) (Row, error) {
 	), nil
 }
 
-// Table7Compare runs one sweep case twice — once with the default sparse
-// revised simplex, once with the dense tableau engine the sparse one
-// replaced — and reports the paper's columns plus the dense/sparse LP
-// speedup. This is the recorded ratio the CI regression gate guards: a
-// change that slows the sparse engine (or quietly routes solves to the
-// dense path) drags the speedup down. Costs one dense solve per case
-// (~seconds at k=4), so benchmarks time Table7 and only merlin-bench runs
-// the comparison.
+// Table7Compare runs one sweep case twice — once with the default
+// flow-structured solver stack, once with the dense tableau engine over
+// the legacy per-cable formulation with flow detection off (the PR-5
+// baseline the sparse engine replaced) — and reports the paper's columns
+// plus the baseline/default LP speedup. This is the recorded ratio the CI
+// regression gate guards: a change that slows the default stack (or
+// quietly routes solves back to the baseline path) drags the speedup
+// down. Costs one dense solve per case (~seconds at k=4), so benchmarks
+// time Table7 and only merlin-bench runs the comparison.
 func Table7Compare(c Table7Case) (Row, error) {
 	t := c.Build()
 	pol, classes, err := table7Policy(c, t)
@@ -330,8 +331,10 @@ func Table7Compare(c Table7Case) (Row, error) {
 		return Row{}, err
 	}
 	dense, err := merlin.Compile(pol, t, nil, merlin.Options{
-		NoDefault: true,
-		MIP:       mip.Params{LP: lp.Params{Dense: true}},
+		NoDefault:   true,
+		NoNetflow:   true,
+		LegacyModel: true,
+		MIP:         mip.Params{LP: lp.Params{Dense: true}},
 	})
 	if err != nil {
 		return Row{}, fmt.Errorf("dense engine: %w", err)

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestSolverSpeedup pins the flow-structured solver's acceptance bar: on
+// the k=8 multi-tenant fat tree the network-simplex fast path must fire
+// on at least half the shards (SolverRun itself asserts that) and the
+// default stack must beat the legacy general path by ≥3x. The benchmark
+// reports the real ratio (≈6–8x unloaded; 3x is the CI-safe floor under
+// noisy neighbors). The min-max case rides along for its engine
+// cross-checks — its compaction gain is gated by merlin-bench -check,
+// not here, because a ~2x ratio is too timing-fragile for a test.
+func TestSolverSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped in -short")
+	}
+	for _, c := range SolverCases() {
+		r, err := SolverRun(c)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		t.Logf("%s", r.Format())
+		if c.Name != "fattree-k8-flow" {
+			continue
+		}
+		speedup, err := strconv.ParseFloat(r.Values["speedup"], 64)
+		if err != nil {
+			t.Fatalf("%s: bad speedup %q", c.Name, r.Values["speedup"])
+		}
+		if speedup < 3 {
+			t.Errorf("%s: flow-structured speedup %.1fx, want >= 3x", c.Name, speedup)
+		}
+	}
+}

@@ -70,6 +70,20 @@ type Model struct {
 // NewModel returns an empty model.
 func NewModel() *Model { return &Model{} }
 
+// Clone returns a model sharing this one's constraints and names but with
+// private cost and bound vectors, so SetCost/SetBounds on the clone leave
+// the original untouched. Branch and bound solves node relaxations on
+// clones — one per worker — which keeps concurrent node solves free of
+// shared mutable state. The receiver must not grow (AddVar/AddConstraint)
+// while clones are in use.
+func (m *Model) Clone() *Model {
+	c := *m
+	c.cost = append([]float64(nil), m.cost...)
+	c.lower = append([]float64(nil), m.lower...)
+	c.upper = append([]float64(nil), m.upper...)
+	return &c
+}
+
 // AddVar adds a variable with bounds [lb, ub] and objective coefficient
 // cost, returning its index. ub may be math.Inf(1); lb must be finite
 // (Merlin's formulations are all non-negative).

@@ -9,6 +9,7 @@ package mip
 import (
 	"container/heap"
 	"math"
+	"sync"
 
 	"merlin/internal/lp"
 )
@@ -60,6 +61,20 @@ type Params struct {
 	LP lp.Params
 	// IntTol is the integrality tolerance. Zero means 1e-6.
 	IntTol float64
+	// Workers bounds how many node relaxations of one wave solve
+	// concurrently; zero or one is serial. The search explores waves of a
+	// fixed size in a fixed order regardless of Workers, so the returned
+	// solution — status, objective, X, and Nodes — is bit-for-bit
+	// identical for every value; Workers changes wall-clock only.
+	// provision.Solve sets it to the shard pool's size.
+	Workers int
+	// Sem, when non-nil, is a shared token pool bounding concurrency
+	// across several solvers at once (provision's shard pool). The calling
+	// goroutine is assumed to hold one slot already — its own solve is
+	// free — and each extra in-wave worker must win a token, acquired
+	// non-blockingly: when the pool is busy the wave just solves with
+	// fewer workers. Ignored when Workers <= 1.
+	Sem chan struct{}
 }
 
 // Model wraps an LP model with integrality markers.
@@ -100,10 +115,12 @@ func (m *Model) IsInteger(v int) bool {
 
 // node is one branch-and-bound subproblem: a set of tightened bounds plus
 // the parent's optimal basis, which warm-starts the node's LP re-solve.
-// The basis is shared read-only between sibling nodes.
+// The basis is shared read-only between sibling nodes and across wave
+// workers.
 type node struct {
 	bound   float64 // LP relaxation objective (lower bound when minimizing)
 	depth   int
+	seq     int // creation order: deterministic heap tie-break
 	changes []boundChange
 	basis   *lp.Basis
 }
@@ -113,7 +130,10 @@ type boundChange struct {
 	lb, ub float64
 }
 
-// nodeHeap is a best-bound priority queue.
+// nodeHeap is a best-bound priority queue. Equal bounds order by creation
+// sequence, making the pop order a strict total order — the search
+// trajectory is then a pure function of the model, independent of heap
+// internals and of how many workers solve each wave.
 type nodeHeap struct {
 	items []*node
 	worst float64 // +1 for minimize, -1 for maximize comparisons
@@ -121,7 +141,11 @@ type nodeHeap struct {
 
 func (h *nodeHeap) Len() int { return len(h.items) }
 func (h *nodeHeap) Less(i, j int) bool {
-	return h.worst*h.items[i].bound < h.worst*h.items[j].bound
+	a, b := h.worst*h.items[i].bound, h.worst*h.items[j].bound
+	if a != b {
+		return a < b
+	}
+	return h.items[i].seq < h.items[j].seq
 }
 func (h *nodeHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
 func (h *nodeHeap) Push(x any)    { h.items = append(h.items, x.(*node)) }
@@ -133,8 +157,20 @@ func (h *nodeHeap) Pop() any {
 	return it
 }
 
-// Solve runs best-bound branch and bound. The model's bounds are restored
-// before returning.
+// waveSize is how many heap nodes one wave pops and solves together. It is
+// a constant — NOT Params.Workers — so the explored tree is identical for
+// every worker count; Workers only decides how many of a wave's LPs run
+// concurrently. The cost of the scheme is bounded speculation: a node
+// solved early in a wave may produce an incumbent that would have pruned a
+// later node of the same wave, wasting at most waveSize-1 LP solves per
+// incumbent improvement. When the heap holds fewer nodes (the common case:
+// provisioning relaxations are usually integral at the root), waves are
+// exactly as lean as serial best-first search.
+const waveSize = 8
+
+// Solve runs best-bound branch and bound over waves of node relaxations.
+// Node LPs solve on private clones of the model, so the model itself is
+// never mutated — and never shared mutable state between workers.
 func (m *Model) Solve(p Params) Solution {
 	maxNodes := p.MaxNodes
 	if maxNodes == 0 {
@@ -144,26 +180,14 @@ func (m *Model) Solve(p Params) Solution {
 	if intTol == 0 {
 		intTol = 1e-6
 	}
-	// Record original bounds of integer vars so we can restore them.
-	type savedBound struct {
-		v      int
-		lb, ub float64
-	}
-	var saved []savedBound
+	var ints []int
 	for v := 0; v < m.NumVars(); v++ {
 		if m.IsInteger(v) {
-			lb, ub := m.Bounds(v)
-			saved = append(saved, savedBound{v, lb, ub})
+			ints = append(ints, v)
 		}
 	}
-	restore := func() {
-		for _, s := range saved {
-			m.SetBounds(s.v, s.lb, s.ub)
-		}
-	}
-	defer restore()
 
-	// Root relaxation.
+	// Root relaxation, solved on the model itself (read-only).
 	root := m.Model.Solve(p.LP)
 	switch root.Status {
 	case lp.Infeasible:
@@ -173,97 +197,167 @@ func (m *Model) Solve(p Params) Solution {
 	case lp.IterLimit:
 		return Solution{Status: Limit}
 	}
-	sense := 1.0 // minimize by default; detect sign by probing is fragile,
-	// so the heap treats bound as "minimize root-relative": we compare
-	// objective improvements with a direction learned from the LP model.
-	// lp.Model exposes no sense getter; branch and bound only needs
-	// consistency: for maximization the relaxation bound is an upper
-	// bound, and "better" flips. We detect it via Maximized().
+	sense := 1.0 // minimize by default; for maximization the relaxation
+	// bound is an upper bound and "better" flips. Detected via Maximized().
 	if m.Maximized() {
 		sense = -1.0
 	}
 
 	h := &nodeHeap{worst: sense}
 	heap.Push(h, &node{bound: root.Objective, basis: root.Basis})
+	seq := 1
 
-	var best *Solution
-	nodes := 0
-	apply := func(changes []boundChange) func() {
+	// One clone per concurrent wave slot, created on demand. Clones share
+	// the constraint rows read-only; bounds tightened for a node solve are
+	// restored before the slot moves on.
+	clones := make([]*lp.Model, 0, waveSize)
+	clone := func(i int) *lp.Model {
+		for len(clones) <= i {
+			clones = append(clones, m.Model.Clone())
+		}
+		return clones[i]
+	}
+	solveNode := func(cl *lp.Model, nd *node) lp.Solution {
 		type prev struct {
 			v      int
 			lb, ub float64
 		}
-		undo := make([]prev, len(changes))
-		for i, c := range changes {
-			lb, ub := m.Bounds(c.v)
+		undo := make([]prev, len(nd.changes))
+		for i, c := range nd.changes {
+			lb, ub := cl.Bounds(c.v)
 			undo[i] = prev{c.v, lb, ub}
-			m.SetBounds(c.v, c.lb, c.ub)
+			cl.SetBounds(c.v, c.lb, c.ub)
 		}
-		return func() {
-			for i := len(undo) - 1; i >= 0; i-- {
-				m.SetBounds(undo[i].v, undo[i].lb, undo[i].ub)
-			}
-		}
-	}
-
-	limitHit := false
-	for h.Len() > 0 {
-		if nodes >= maxNodes {
-			limitHit = true
-			break
-		}
-		nd := heap.Pop(h).(*node)
-		// Prune by bound against the incumbent.
-		if best != nil && sense*nd.bound >= sense*best.Objective-1e-9 {
-			continue
-		}
-		undo := apply(nd.changes)
 		// Warm-start from the parent's optimal basis: after one bound
 		// tightening the basis is typically primal infeasible in a single
 		// row, which the LP's composite phase 1 repairs in a few pivots
 		// instead of re-solving from the all-artificial basis.
 		nodeLP := p.LP
 		nodeLP.Warm = nd.basis
-		sol := m.Model.Solve(nodeLP)
-		undo()
-		nodes++
-		if sol.Status != lp.Optimal {
-			continue // infeasible or limit: prune
+		sol := cl.Solve(nodeLP)
+		for i := len(undo) - 1; i >= 0; i-- {
+			cl.SetBounds(undo[i].v, undo[i].lb, undo[i].ub)
 		}
-		if best != nil && sense*sol.Objective >= sense*best.Objective-1e-9 {
+		return sol
+	}
+
+	var best *Solution
+	nodes := 0
+	prune := func(bound float64) bool {
+		return best != nil && sense*bound >= sense*best.Objective-1e-9
+	}
+
+	wave := make([]*node, 0, waveSize)
+	sols := make([]lp.Solution, waveSize)
+	limitHit := false
+	for h.Len() > 0 {
+		if nodes >= maxNodes {
+			limitHit = true
+			break
+		}
+		// Gather the wave: up to waveSize best-bound nodes that survive
+		// pruning, capped by the remaining node budget.
+		wave = wave[:0]
+		for len(wave) < waveSize && nodes+len(wave) < maxNodes && h.Len() > 0 {
+			nd := heap.Pop(h).(*node)
+			if prune(nd.bound) {
+				continue
+			}
+			wave = append(wave, nd)
+		}
+		if len(wave) == 0 {
 			continue
 		}
-		// Find the most fractional integer variable.
-		branchVar := -1
-		worstFrac := intTol
-		for _, sb := range saved {
-			x := sol.X[sb.v]
-			frac := math.Abs(x - math.Round(x))
-			if frac > worstFrac {
-				worstFrac = frac
-				branchVar = sb.v
+		// Solve the wave's relaxations, possibly concurrently. The caller
+		// holds one implicit slot; each extra worker must win a token from
+		// the shared pool (when one is configured).
+		conc := 1
+		if p.Workers > 1 && len(wave) > 1 {
+			want := p.Workers
+			if want > len(wave) {
+				want = len(wave)
+			}
+			for extra := want - 1; extra > 0; extra-- {
+				if p.Sem == nil {
+					conc++
+					continue
+				}
+				select {
+				case p.Sem <- struct{}{}:
+					conc++
+				default:
+				}
 			}
 		}
-		if branchVar < 0 {
-			// Integral: new incumbent.
-			s := Solution{Status: Optimal, Objective: sol.Objective, X: sol.X, Basis: sol.Basis}
-			best = &s
-			continue
+		if conc <= 1 {
+			for wi, nd := range wave {
+				sols[wi] = solveNode(clone(0), nd)
+			}
+		} else {
+			var wg sync.WaitGroup
+			for s := 0; s < conc; s++ {
+				cl := clone(s)
+				wg.Add(1)
+				go func(s int, cl *lp.Model) {
+					defer wg.Done()
+					for wi := s; wi < len(wave); wi += conc {
+						sols[wi] = solveNode(cl, wave[wi])
+					}
+				}(s, cl)
+			}
+			wg.Wait()
+			if p.Sem != nil {
+				for s := 1; s < conc; s++ {
+					<-p.Sem
+				}
+			}
 		}
-		x := sol.X[branchVar]
-		floor := math.Floor(x)
-		lb, ub := boundsWith(m, nd.changes, branchVar)
-		// Down branch: v <= floor(x).
-		if floor >= lb-1e-9 {
-			down := append(append([]boundChange(nil), nd.changes...),
-				boundChange{branchVar, lb, floor})
-			heap.Push(h, &node{bound: sol.Objective, depth: nd.depth + 1, changes: down, basis: sol.Basis})
-		}
-		// Up branch: v >= ceil(x).
-		if floor+1 <= ub+1e-9 {
-			up := append(append([]boundChange(nil), nd.changes...),
-				boundChange{branchVar, floor + 1, ub})
-			heap.Push(h, &node{bound: sol.Objective, depth: nd.depth + 1, changes: up, basis: sol.Basis})
+		// Consume the results sequentially in wave order — bookkeeping is
+		// single-threaded, so incumbent updates and child creation are
+		// deterministic whatever the worker count was.
+		for wi, nd := range wave {
+			nodes++
+			sol := sols[wi]
+			if sol.Status != lp.Optimal {
+				continue // infeasible or limit: prune
+			}
+			if prune(sol.Objective) {
+				continue
+			}
+			// Find the most fractional integer variable.
+			branchVar := -1
+			worstFrac := intTol
+			for _, v := range ints {
+				x := sol.X[v]
+				frac := math.Abs(x - math.Round(x))
+				if frac > worstFrac {
+					worstFrac = frac
+					branchVar = v
+				}
+			}
+			if branchVar < 0 {
+				// Integral: new incumbent.
+				s := Solution{Status: Optimal, Objective: sol.Objective, X: sol.X, Basis: sol.Basis}
+				best = &s
+				continue
+			}
+			x := sol.X[branchVar]
+			floor := math.Floor(x)
+			lb, ub := boundsWith(m, nd.changes, branchVar)
+			// Down branch: v <= floor(x).
+			if floor >= lb-1e-9 {
+				down := append(append([]boundChange(nil), nd.changes...),
+					boundChange{branchVar, lb, floor})
+				heap.Push(h, &node{bound: sol.Objective, depth: nd.depth + 1, seq: seq, changes: down, basis: sol.Basis})
+				seq++
+			}
+			// Up branch: v >= ceil(x).
+			if floor+1 <= ub+1e-9 {
+				up := append(append([]boundChange(nil), nd.changes...),
+					boundChange{branchVar, floor + 1, ub})
+				heap.Push(h, &node{bound: sol.Objective, depth: nd.depth + 1, seq: seq, changes: up, basis: sol.Basis})
+				seq++
+			}
 		}
 	}
 	if best == nil {

@@ -230,6 +230,56 @@ func TestSparseAndDenseEnginesAgree(t *testing.T) {
 	}
 }
 
+// Property: the wave-parallel search is deterministic — for any worker
+// count (including borrowing from a shared token pool), Solve returns the
+// serial incumbent bit-for-bit: same status, same objective, same X
+// vector, same explored-node count. Hard multi-constraint knapsacks force
+// deep trees so the waves genuinely run concurrent relaxations.
+func TestParallelMatchesSerialBitForBit(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		n := 8 + r.Intn(6)
+		m := NewModel()
+		terms := make([][]lp.Term, 3)
+		for i := 0; i < n; i++ {
+			v := m.AddBinVar(1+math.Floor(r.Float64()*9), "x")
+			for c := range terms {
+				terms[c] = append(terms[c], lp.Term{Var: v, Coeff: 1 + math.Floor(r.Float64()*9)})
+			}
+		}
+		m.Maximize()
+		for c := range terms {
+			m.AddConstraint(terms[c], lp.LE, 10+math.Floor(r.Float64()*25), "cap")
+		}
+		serial := m.Solve(Params{})
+		sem := make(chan struct{}, 8)
+		for _, p := range []Params{
+			{Workers: 2},
+			{Workers: 4},
+			{Workers: 8, Sem: sem},
+		} {
+			par := m.Solve(p)
+			if par.Status != serial.Status || par.Objective != serial.Objective || par.Nodes != serial.Nodes {
+				t.Fatalf("trial %d workers=%d: (%v, %v, %d nodes) != serial (%v, %v, %d nodes)",
+					trial, p.Workers, par.Status, par.Objective, par.Nodes,
+					serial.Status, serial.Objective, serial.Nodes)
+			}
+			if serial.Status != Optimal {
+				continue
+			}
+			for v := range serial.X {
+				if par.X[v] != serial.X[v] {
+					t.Fatalf("trial %d workers=%d: X[%d] = %v != serial %v",
+						trial, p.Workers, v, par.X[v], serial.X[v])
+				}
+			}
+		}
+		if len(sem) != 0 {
+			t.Fatalf("trial %d: %d tokens leaked from the shared pool", trial, len(sem))
+		}
+	}
+}
+
 func BenchmarkKnapsack12(b *testing.B) {
 	r := rand.New(rand.NewSource(77))
 	n := 12

@@ -1,0 +1,229 @@
+package netflow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"merlin/internal/lp"
+)
+
+func TestShortestPathByCost(t *testing.T) {
+	// 0 → 3 via the cheap two-hop route, not the expensive direct arc.
+	p := Problem{
+		N: 4,
+		Arcs: []Arc{
+			{From: 0, To: 3, Cap: 1, Cost: 10},
+			{From: 0, To: 1, Cap: 1, Cost: 1},
+			{From: 1, To: 2, Cap: 1, Cost: 1},
+			{From: 2, To: 3, Cap: 1, Cost: 1},
+		},
+		Supply: []float64{1, 0, 0, -1},
+	}
+	sol := Solve(p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	want := []float64{0, 1, 1, 1}
+	for i, f := range sol.Flow {
+		if math.Abs(f-want[i]) > 1e-9 {
+			t.Fatalf("flow[%d] = %v, want %v", i, f, want[i])
+		}
+	}
+	if math.Abs(sol.Cost-3) > 1e-9 {
+		t.Fatalf("cost = %v, want 3", sol.Cost)
+	}
+}
+
+func TestCapacityForcesSplit(t *testing.T) {
+	// Two units must leave node 0; the cheap arc carries one, the
+	// expensive arc the other.
+	p := Problem{
+		N: 2,
+		Arcs: []Arc{
+			{From: 0, To: 1, Cap: 1, Cost: 1},
+			{From: 0, To: 1, Cap: 5, Cost: 4},
+		},
+		Supply: []float64{2, -2},
+	}
+	sol := Solve(p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Flow[0]-1) > 1e-9 || math.Abs(sol.Flow[1]-1) > 1e-9 {
+		t.Fatalf("flow = %v, want [1 1]", sol.Flow)
+	}
+	if math.Abs(sol.Cost-5) > 1e-9 {
+		t.Fatalf("cost = %v, want 5", sol.Cost)
+	}
+}
+
+func TestInfeasibleDisconnected(t *testing.T) {
+	p := Problem{
+		N:      3,
+		Arcs:   []Arc{{From: 0, To: 1, Cap: 1, Cost: 1}},
+		Supply: []float64{1, 0, -1},
+	}
+	if sol := Solve(p); sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestInfeasibleCapacityCut(t *testing.T) {
+	p := Problem{
+		N:      2,
+		Arcs:   []Arc{{From: 0, To: 1, Cap: 1, Cost: 1}},
+		Supply: []float64{2, -2},
+	}
+	if sol := Solve(p); sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestTransportation(t *testing.T) {
+	// Classic 2×2 transportation instance with a known optimum.
+	p := Problem{
+		N: 4, // suppliers 0,1; consumers 2,3
+		Arcs: []Arc{
+			{From: 0, To: 2, Cap: math.Inf(1), Cost: 2},
+			{From: 0, To: 3, Cap: math.Inf(1), Cost: 6},
+			{From: 1, To: 2, Cap: math.Inf(1), Cost: 5},
+			{From: 1, To: 3, Cap: math.Inf(1), Cost: 3},
+		},
+		Supply: []float64{30, 20, -25, -25},
+	}
+	sol := Solve(p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	// Optimal: 0→2 carries 25, 0→3 carries 5, 1→3 carries 20: cost 140.
+	if math.Abs(sol.Cost-140) > 1e-9 {
+		t.Fatalf("cost = %v, want 140", sol.Cost)
+	}
+}
+
+func TestIntegralFlowsOnUnitData(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		p := randomProblem(rng, true)
+		sol := Solve(p)
+		if sol.Status != Optimal {
+			continue
+		}
+		for i, f := range sol.Flow {
+			if math.Abs(f-math.Round(f)) > 1e-9 {
+				t.Fatalf("trial %d: fractional flow %v on arc %d", trial, f, i)
+			}
+		}
+	}
+}
+
+// TestAgreesWithLP cross-checks the network simplex against the general
+// simplex on random instances: same constraint matrix, same objective.
+func TestAgreesWithLP(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	solved := 0
+	for trial := 0; trial < 120; trial++ {
+		p := randomProblem(rng, trial%2 == 0)
+		got := Solve(p)
+
+		m := lp.NewModel()
+		vars := make([]int, len(p.Arcs))
+		for i, a := range p.Arcs {
+			vars[i] = m.AddVar(0, a.Cap, a.Cost, "f")
+		}
+		for v := 0; v < p.N; v++ {
+			var terms []lp.Term
+			for i, a := range p.Arcs {
+				if a.From == v {
+					terms = append(terms, lp.Term{Var: vars[i], Coeff: 1})
+				}
+				if a.To == v {
+					terms = append(terms, lp.Term{Var: vars[i], Coeff: -1})
+				}
+			}
+			if len(terms) == 0 && p.Supply[v] != 0 {
+				terms = []lp.Term{}
+			}
+			m.AddConstraint(terms, lp.EQ, p.Supply[v], "node")
+		}
+		ref := m.Solve(lp.Params{})
+
+		switch got.Status {
+		case Optimal:
+			if ref.Status != lp.Optimal {
+				t.Fatalf("trial %d: netflow optimal, lp %v", trial, ref.Status)
+			}
+			if math.Abs(got.Cost-ref.Objective) > 1e-6*(1+math.Abs(ref.Objective)) {
+				t.Fatalf("trial %d: cost %v != lp objective %v", trial, got.Cost, ref.Objective)
+			}
+			solved++
+		case Infeasible:
+			if ref.Status != lp.Infeasible {
+				t.Fatalf("trial %d: netflow infeasible, lp %v (obj %v)", trial, ref.Status, ref.Objective)
+			}
+		default:
+			t.Fatalf("trial %d: unexpected status %v", trial, got.Status)
+		}
+	}
+	if solved < 40 {
+		t.Fatalf("only %d/120 trials solved — generator too hostile to be a meaningful cross-check", solved)
+	}
+}
+
+// TestDeterministic re-solves one instance repeatedly and demands
+// identical flows and pivot counts.
+func TestDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := randomProblem(rng, false)
+	first := Solve(p)
+	for i := 0; i < 10; i++ {
+		again := Solve(p)
+		if again.Status != first.Status || again.Pivots != first.Pivots {
+			t.Fatalf("run %d diverged: %v/%d vs %v/%d", i, again.Status, again.Pivots, first.Status, first.Pivots)
+		}
+		for j := range first.Flow {
+			if again.Flow[j] != first.Flow[j] {
+				t.Fatalf("run %d: flow[%d] = %v vs %v", i, j, again.Flow[j], first.Flow[j])
+			}
+		}
+	}
+}
+
+// randomProblem builds a connected-ish random instance. unit constrains
+// supplies and capacities to small integers so integrality is checkable.
+func randomProblem(rng *rand.Rand, unit bool) Problem {
+	n := 3 + rng.Intn(8)
+	p := Problem{N: n, Supply: make([]float64, n)}
+	// A random spine so most instances are feasible, plus chords.
+	for v := 1; v < n; v++ {
+		u := rng.Intn(v)
+		capac := float64(1 + rng.Intn(4))
+		if !unit {
+			capac = 1 + 10*rng.Float64()
+		}
+		p.Arcs = append(p.Arcs, Arc{From: u, To: v, Cap: capac, Cost: float64(rng.Intn(9))})
+	}
+	for extra := rng.Intn(2 * n); extra > 0; extra-- {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		capac := float64(1 + rng.Intn(4))
+		if !unit {
+			capac = 1 + 10*rng.Float64()
+		}
+		p.Arcs = append(p.Arcs, Arc{From: u, To: v, Cap: capac, Cost: float64(rng.Intn(9))})
+	}
+	// Balanced integer supplies.
+	units := 1 + rng.Intn(3)
+	for k := 0; k < units; k++ {
+		s, d := rng.Intn(n), rng.Intn(n)
+		if s == d {
+			continue
+		}
+		p.Supply[s]++
+		p.Supply[d]--
+	}
+	return p
+}

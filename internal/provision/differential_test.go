@@ -326,10 +326,16 @@ func sameAllocations(a, b *Result) bool {
 }
 
 // runDifferential executes n seeded cases starting at seed0 and fails on
-// the first divergence, logging the seed.
+// the first divergence, logging the seed. Besides sharded-vs-monolithic,
+// every case cross-checks the solver engines against each other: the
+// default stack (network-simplex fast path where it fires) against the
+// general path with detection off, and the compact bounded-variable
+// formulation against the legacy paper-literal one. All four must agree
+// on feasibility and objective; allocations match modulo the same
+// tie-break collision noise the sharded comparison tolerates.
 func runDifferential(t *testing.T, seed0 int64, n int) {
-	wspDiffs, minmaxDiffs := 0, 0
-	shardedCases := 0
+	wspDiffs, minmaxDiffs, engineDiffs := 0, 0, 0
+	shardedCases, netflowCases := 0, 0
 	for i := 0; i < n; i++ {
 		seed := seed0 + int64(i)
 		c := genCase(t, seed)
@@ -337,16 +343,40 @@ func runDifferential(t *testing.T, seed0 int64, n int) {
 
 		sharded, errS := Solve(c.t, c.reqs, c.h, Params{Workers: 2})
 		mono, errM := Solve(c.t, c.reqs, c.h, Params{NoShard: true})
+		compact, errC := Solve(c.t, c.reqs, c.h, Params{NoNetflow: true})
+		legacy, errL := Solve(c.t, c.reqs, c.h, Params{NoNetflow: true, LegacyModel: true})
 
-		// Feasibility must agree.
+		// Feasibility must agree across every configuration.
 		if (errS == nil) != (errM == nil) {
 			t.Fatalf("%s: feasibility diverges: sharded err=%v, monolithic err=%v", label, errS, errM)
+		}
+		if (errS == nil) != (errC == nil) || (errS == nil) != (errL == nil) {
+			t.Fatalf("%s: feasibility diverges: default err=%v, compact err=%v, legacy err=%v",
+				label, errS, errC, errL)
 		}
 		if errS != nil {
 			continue
 		}
 		if len(sharded.Shards) > 1 {
 			shardedCases++
+		}
+		if sharded.NetflowShards > 0 {
+			netflowCases++
+		}
+		// Engine cross-checks: same objective to 1e-6, valid allocations,
+		// and per-link agreement up to tie-break collisions.
+		objD := objectiveOf(c.h, sharded, c.reqs)
+		for which, res := range map[string]*Result{"compact": compact, "legacy": legacy} {
+			if err := res.Validate(c.t); err != nil {
+				t.Fatalf("%s: %s allocation invalid: %v", label, which, err)
+			}
+			if obj := objectiveOf(c.h, res, c.reqs); !closeTo(objD, obj) {
+				t.Fatalf("%s: %s engine objective diverges: default %.9f, %s %.9f",
+					label, which, objD, which, obj)
+			}
+			if !sameAllocations(sharded, res) {
+				engineDiffs++
+			}
 		}
 		// Every request decoded a path in both.
 		for _, r := range c.reqs {
@@ -382,14 +412,20 @@ func runDifferential(t *testing.T, seed0 int64, n int) {
 	if shardedCases == 0 {
 		t.Fatal("generator produced no multi-shard case; the harness is not exercising decomposition")
 	}
+	if netflowCases == 0 {
+		t.Fatal("generator produced no netflow-solved case; the harness is not exercising the fast path")
+	}
 	if wspDiffs > n/20 {
 		t.Fatalf("WSP per-link allocations diverged on %d/%d cases — beyond tie-break collision noise", wspDiffs, n)
 	}
 	if minmaxDiffs > n/10 {
 		t.Fatalf("min-max per-link allocations diverged on %d/%d cases — beyond below-bottleneck freedom", minmaxDiffs, n)
 	}
-	t.Logf("differential: %d cases, %d multi-shard, %d wsp / %d min-max allocation diffs",
-		n, shardedCases, wspDiffs, minmaxDiffs)
+	if engineDiffs > n/10 {
+		t.Fatalf("engine allocations diverged on %d/%d comparisons — beyond tie-break collision noise", engineDiffs, n)
+	}
+	t.Logf("differential: %d cases, %d multi-shard, %d netflow, %d wsp / %d min-max / %d engine allocation diffs",
+		n, shardedCases, netflowCases, wspDiffs, minmaxDiffs, engineDiffs)
 }
 
 // TestDifferentialShardedVsMonolithic is the acceptance harness: ≥200

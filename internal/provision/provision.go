@@ -87,9 +87,13 @@ type Result struct {
 	// so a later Solve re-solves only the shards whose requests changed.
 	Shards []*ShardSolution
 	// ShardsSolved, ShardsWarm, and ShardsReused split the shards of this
-	// call into cold solves, basis-warm-started re-solves, and solutions
-	// served from Params.Reuse without a solve.
+	// call into cold solves, cheap re-solves of a previously solved shape
+	// (warm-started from the cached basis, or re-run through the network
+	// simplex), and solutions served from Params.Reuse without a solve.
 	ShardsSolved, ShardsWarm, ShardsReused int
+	// NetflowShards counts the shards this call solved (cold or re-solved)
+	// through the network-simplex fast path instead of the general MIP.
+	NetflowShards int
 }
 
 // Params tune the solve.
@@ -117,6 +121,21 @@ type Params struct {
 	// solve; one whose rates alone changed re-solves warm-started from the
 	// shard's cached basis.
 	Reuse []*ShardSolution
+	// LegacyModel selects the paper-literal MIP encoding: an explicit
+	// reservation variable r_uv per cable coupled by three constraint rows
+	// (eqs. 2–4 materialized). The default compact encoding folds those
+	// rows into the simplex engine's implicit variable bounds — one or two
+	// rows per cable and no r_uv column — which shrinks every shard's
+	// basis. Both encodings admit the same x assignments with identical
+	// objectives, so they choose the same (generically unique) optimum;
+	// the flag exists so the solver bench can measure the gap.
+	LegacyModel bool
+	// NoNetflow disables the network-simplex fast path: shards whose
+	// capacity rows are provably redundant normally skip the general MIP
+	// and solve each request as a min-cost unit flow (see netflowEligible).
+	// The flag forces the general simplex + branch-and-bound path — the
+	// baseline the solver bench and the differential tests compare against.
+	NoNetflow bool
 	// Dirty lists canonical cable IDs (lower directed link ID of the pair)
 	// whose capacity or state changed since the Reuse solutions were
 	// produced. A reuse-candidate shard whose product graphs can ride a
@@ -169,8 +188,11 @@ type builtModel struct {
 }
 
 // buildModel encodes the requests into the MIP of §3.2 (equations 1–5)
-// under the given heuristic.
-func buildModel(t *topo.Topology, reqs []Request, h Heuristic, eps float64) *builtModel {
+// under the given heuristic. The default encoding is compact: per-cable
+// load couples to capacity through the simplex engine's implicit variable
+// bounds instead of materialized reservation variables and rows; legacy
+// selects the paper-literal encoding (see Params.LegacyModel).
+func buildModel(t *topo.Topology, reqs []Request, h Heuristic, eps float64, legacy bool) *builtModel {
 	model := mip.NewModel()
 
 	// Cable canonicalization is topo.Cable everywhere — Partition, the
@@ -225,8 +247,6 @@ func buildModel(t *topo.Topology, reqs []Request, h Heuristic, eps float64) *bui
 			cableTerms[c] = append(cableTerms[c], lp.Term{Var: xvars[i][e], Coeff: r.MinRate / rateUnit})
 		}
 	}
-	rmax := model.Model.AddVar(0, 1, 0, "rmax") // eq. 5: rmax <= 1
-	rmaxBits := model.Model.AddVar(0, math.Inf(1), 0, "Rmax")
 	// Emit cable constraints in sorted order: map iteration order would
 	// otherwise vary run to run, steering the simplex to different (if
 	// equally optimal) vertices and making compiled output nondeterministic.
@@ -235,17 +255,58 @@ func buildModel(t *topo.Topology, reqs []Request, h Heuristic, eps float64) *bui
 		cables = append(cables, c)
 	}
 	sort.Slice(cables, func(i, j int) bool { return cables[i] < cables[j] })
-	for _, c := range cables {
-		terms := cableTerms[c]
-		capBits := t.Link(c).Capacity
-		ruv := model.Model.AddVar(0, 1, 0, fmt.Sprintf("r_%d", c))
-		// eq. 2: ruv * cuv = Σ rmin_i x_e  ⇔  ruv - Σ (rmin/c) x_e = 0
-		eq := append([]lp.Term{{Var: ruv, Coeff: capBits / rateUnit}}, negate(terms)...)
-		model.AddConstraint(eq, lp.EQ, 0, fmt.Sprintf("reserve_%d", c))
-		// eq. 3: rmax >= ruv
-		model.AddConstraint([]lp.Term{{Var: rmax, Coeff: 1}, {Var: ruv, Coeff: -1}}, lp.GE, 0, "rmax")
-		// eq. 4: Rmax >= ruv * cuv (in rate units)
-		model.AddConstraint([]lp.Term{{Var: rmaxBits, Coeff: 1}, {Var: ruv, Coeff: -(capBits / rateUnit)}}, lp.GE, 0, "Rmax")
+	rmax, rmaxBits := -1, -1
+	switch {
+	case legacy:
+		// Paper-literal encoding: one reservation variable r_uv per cable
+		// plus three rows materializing eqs. 2–4; eq. 5 is r_uv's and
+		// rmax's [0,1] bounds.
+		rmax = model.Model.AddVar(0, 1, 0, "rmax")
+		rmaxBits = model.Model.AddVar(0, math.Inf(1), 0, "Rmax")
+		for _, c := range cables {
+			terms := cableTerms[c]
+			capBits := t.Link(c).Capacity
+			ruv := model.Model.AddVar(0, 1, 0, fmt.Sprintf("r_%d", c))
+			// eq. 2: ruv * cuv = Σ rmin_i x_e  ⇔  ruv - Σ (rmin/c) x_e = 0
+			eq := append([]lp.Term{{Var: ruv, Coeff: capBits / rateUnit}}, negate(terms)...)
+			model.AddConstraint(eq, lp.EQ, 0, fmt.Sprintf("reserve_%d", c))
+			// eq. 3: rmax >= ruv
+			model.AddConstraint([]lp.Term{{Var: rmax, Coeff: 1}, {Var: ruv, Coeff: -1}}, lp.GE, 0, "rmax")
+			// eq. 4: Rmax >= ruv * cuv (in rate units)
+			model.AddConstraint([]lp.Term{{Var: rmaxBits, Coeff: 1}, {Var: ruv, Coeff: -(capBits / rateUnit)}}, lp.GE, 0, "Rmax")
+		}
+	default:
+		// Compact bounded-variable encoding: the per-cable load
+		// L_c = Σ (rmin_i/unit) x_e substitutes r_uv·c_uv everywhere it
+		// appears, so each cable costs one row (two for MinMaxReserved,
+		// which needs capacity and the objective coupling separately) and
+		// no extra column. Only the variable the active objective
+		// minimizes exists; capacity under MinMaxRatio rides on rmax's
+		// upper bound of 1 (eq. 5), handled implicitly by the simplex.
+		if h == MinMaxRatio {
+			rmax = model.Model.AddVar(0, 1, 0, "rmax")
+		}
+		if h == MinMaxReserved {
+			rmaxBits = model.Model.AddVar(0, math.Inf(1), 0, "Rmax")
+		}
+		for _, c := range cables {
+			terms := cableTerms[c]
+			capU := t.Link(c).Capacity / rateUnit
+			switch h {
+			case MinMaxRatio:
+				// eqs. 3+5: rmax * cuv >= L_c, rmax <= 1.
+				ge := append([]lp.Term{{Var: rmax, Coeff: capU}}, negate(terms)...)
+				model.AddConstraint(ge, lp.GE, 0, fmt.Sprintf("rmax_%d", c))
+			case MinMaxReserved:
+				// eq. 5: L_c <= cuv, and eq. 4: Rmax >= L_c.
+				model.AddConstraint(terms, lp.LE, capU, fmt.Sprintf("cap_%d", c))
+				ge := append([]lp.Term{{Var: rmaxBits, Coeff: 1}}, negate(terms)...)
+				model.AddConstraint(ge, lp.GE, 0, fmt.Sprintf("Rmax_%d", c))
+			default: // WeightedShortestPath
+				// eq. 5 alone: L_c <= cuv.
+				model.AddConstraint(terms, lp.LE, capU, fmt.Sprintf("cap_%d", c))
+			}
+		}
 	}
 	// Objective. Each edge's hop cost carries a deterministic tie-breaking
 	// perturbation derived only from the request ID and the edge's index

@@ -43,10 +43,16 @@ type ShardSolution struct {
 	Paths    map[string][]logical.Step
 	Reserved map[topo.LinkID]float64
 	// Basis is the shard model's optimal simplex basis, used to warm-start
-	// a re-solve after a rate change.
+	// a re-solve after a rate change. Nil when the shard took the
+	// network-simplex fast path, which needs no warm start: re-solving it
+	// costs a handful of tree pivots either way.
 	Basis *lp.Basis
-	// Nodes is the branch-and-bound node count of the shard's solve.
+	// Nodes is the branch-and-bound node count of the shard's solve (zero
+	// on the fast path — integral relaxations never branch).
 	Nodes int
+	// Netflow records that the shard was recognized as a pure node-arc
+	// incidence problem and solved by the network simplex.
+	Netflow bool
 }
 
 // shardKeyOf builds the reuse key for a request ID sequence.
@@ -116,90 +122,79 @@ func Partition(t *topo.Topology, reqs []Request) [][]int {
 	return out
 }
 
-// parallelShards runs f(0..n-1) over a bounded worker pool; workers <= 0
-// means runtime.NumCPU() and 1 forces the sequential path. f must only
-// write per-index state.
-func parallelShards(n, workers int, f func(i int)) {
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	ch := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range ch {
-				f(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		ch <- i
-	}
-	close(ch)
-	wg.Wait()
-}
-
 // solveComponents provisions each shard independently — reusing or
 // warm-starting from p.Reuse where the shard is unchanged — and merges
-// the per-shard solutions into one Result.
+// the per-shard solutions into one Result. A single token pool of
+// p.Workers slots bounds all concurrency: every in-flight shard solve
+// holds one token, and branch-and-bound waves inside a shard borrow the
+// spare tokens for extra node relaxations (mip.Params.Sem), so shard-level
+// and node-level parallelism together never exceed Workers.
 func solveComponents(t *topo.Topology, reqs []Request, comps [][]int, h Heuristic, p Params, eps float64) (*Result, error) {
 	reuse := make(map[string]*ShardSolution, len(p.Reuse))
 	for _, s := range p.Reuse {
 		reuse[s.Key] = s
 	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	sem := make(chan struct{}, workers)
+	sp := p
+	sp.MIP.Workers = workers
+	sp.MIP.Sem = sem
 	shards := make([]*ShardSolution, len(comps))
 	errs := make([]error, len(comps))
 	kind := make([]int8, len(comps)) // 0 cold, 1 warm, 2 reused
 	construct := make([]time.Duration, len(comps))
 	solve := make([]time.Duration, len(comps))
-	parallelShards(len(comps), p.Workers, func(ci int) {
-		idxs := comps[ci]
-		sub := make([]Request, len(idxs))
-		ids := make([]string, len(idxs))
-		for k, i := range idxs {
-			sub[k] = reqs[i]
-			ids[k] = reqs[i].ID
-		}
-		key := shardKeyOf(ids)
-		var warm *lp.Basis
-		if prev, ok := reuse[key]; ok && sameShardShape(prev, sub) {
-			if sameShardRates(prev, sub) && !shardTouchesDirty(t, sub, p.Dirty) {
-				shards[ci] = prev
-				kind[ci] = 2
+	var wg sync.WaitGroup
+	for ci := range comps {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			idxs := comps[ci]
+			sub := make([]Request, len(idxs))
+			ids := make([]string, len(idxs))
+			for k, i := range idxs {
+				sub[k] = reqs[i]
+				ids[k] = reqs[i].ID
+			}
+			key := shardKeyOf(ids)
+			var warm *lp.Basis
+			if prev, ok := reuse[key]; ok && sameShardShape(prev, sub) {
+				if sameShardRates(prev, sub) && !shardTouchesDirty(t, sub, p.Dirty) {
+					shards[ci] = prev
+					kind[ci] = 2
+					return
+				}
+				// A shape-matched predecessor makes this a cheap re-solve
+				// whichever engine runs: the general path warm-starts from
+				// the cached basis, the fast path re-runs the network
+				// simplex (prev.Basis nil) in a few tree pivots.
+				warm = prev.Basis
+				kind[ci] = 1
+			} else if len(comps) == 1 && p.Warm != nil {
+				warm = p.Warm
+				kind[ci] = 1
+			}
+			out, err := solveOne(t, sub, h, sp, eps, warm, &construct[ci], &solve[ci])
+			if err != nil {
+				errs[ci] = err
 				return
 			}
-			warm = prev.Basis
-		} else if len(comps) == 1 {
-			warm = p.Warm
-		}
-		if warm != nil {
-			kind[ci] = 1
-		}
-		out, err := solveOne(t, sub, h, p.MIP, eps, warm, &construct[ci], &solve[ci])
-		if err != nil {
-			errs[ci] = err
-			return
-		}
-		out.Key = key
-		out.IDs = ids
-		out.Graphs = make([]*logical.Graph, len(sub))
-		out.Rates = make([]float64, len(sub))
-		for k, r := range sub {
-			out.Graphs[k], out.Rates[k] = r.Graph, r.MinRate
-		}
-		shards[ci] = out
-	})
+			out.Key = key
+			out.IDs = ids
+			out.Graphs = make([]*logical.Graph, len(sub))
+			out.Rates = make([]float64, len(sub))
+			for k, r := range sub {
+				out.Graphs[k], out.Rates[k] = r.Graph, r.MinRate
+			}
+			shards[ci] = out
+		}(ci)
+	}
+	wg.Wait()
 	// solveOne's errors carry no package prefix, so shard attribution and
 	// the "provision:" prefix compose without stuttering.
 	for ci, err := range errs {
@@ -236,6 +231,9 @@ func solveComponents(t *topo.Topology, reqs []Request, comps [][]int, h Heuristi
 			continue
 		}
 		res.Nodes += s.Nodes
+		if s.Netflow {
+			res.NetflowShards++
+		}
 	}
 	if len(shards) == 1 {
 		res.Basis = shards[0].Basis
@@ -293,23 +291,36 @@ func shardTouchesDirty(t *topo.Topology, sub []Request, dirty map[topo.LinkID]bo
 	return false
 }
 
-// solveOne builds and solves the MIP for one request set (a shard, or the
-// whole problem when sharding is off) and decodes the outcome. The warm
-// basis, when non-nil and shape-compatible, starts the root relaxation
-// from a previous optimum of the same model. Construction and solve
-// durations are written through construct and solve.
-func solveOne(t *topo.Topology, reqs []Request, h Heuristic, mp mip.Params, eps float64, warm *lp.Basis, construct, solve *time.Duration) (*ShardSolution, error) {
+// solveOne solves one request set (a shard, or the whole problem when
+// sharding is off) and decodes the outcome. Eligible shards take the
+// network-simplex fast path (see netflowEligible); the rest build the MIP
+// and run simplex + branch and bound. The warm basis, when non-nil and
+// shape-compatible, starts the general path's root relaxation from a
+// previous optimum of the same model. Construction and solve durations
+// accumulate through construct and solve.
+func solveOne(t *topo.Topology, reqs []Request, h Heuristic, p Params, eps float64, warm *lp.Basis, construct, solve *time.Duration) (*ShardSolution, error) {
+	if !p.NoNetflow && netflowEligible(t, reqs, h) {
+		out, err := solveNetflow(t, reqs, h, eps, construct, solve)
+		if err != nil {
+			return nil, err
+		}
+		if out != nil {
+			return out, nil
+		}
+		// Numerical bail-out (pivot limit): fall through to the general
+		// path, which shares no state with the aborted attempt.
+	}
 	start := time.Now()
-	bm := buildModel(t, reqs, h, eps)
-	*construct = time.Since(start)
+	bm := buildModel(t, reqs, h, eps, p.LegacyModel)
+	*construct += time.Since(start)
 
 	solveStart := time.Now()
-	params := mp
+	params := p.MIP
 	if warm != nil {
 		params.LP.Warm = warm
 	}
 	sol := bm.model.Solve(params)
-	*solve = time.Since(solveStart)
+	*solve += time.Since(solveStart)
 	switch sol.Status {
 	case mip.Optimal:
 		// proceed

@@ -156,14 +156,20 @@ func TestFailureEvictsOnlyIncidentBestEffortGraphs(t *testing.T) {
 			st.GraphBuilds-base.GraphBuilds, st.TreeBuilds-base.TreeBuilds)
 	}
 
-	// Recovery keeps the documented asymmetry: everything automaton-
-	// derived drops (both graphs, both trees).
+	// Recovery is selective too: only b's graph was rebuilt while the
+	// trunk was down (its outage stamp names the trunk), so only it — and
+	// its tree — drops. Statement a's island graph, built under full
+	// connectivity and untouched by the failure, survives both events.
 	if _, err := c.ApplyTopo(LinkRecovery("s1", "s2")); err != nil {
 		t.Fatal(err)
 	}
 	st2 := c.Stats()
-	if st2.GraphsInvalidated != st.GraphsInvalidated+2 || st2.TreesInvalidated != st.TreesInvalidated+2 {
-		t.Fatalf("recovery evicted %d graphs / %d trees, want wholesale 2/2",
+	if st2.GraphsInvalidated != st.GraphsInvalidated+1 || st2.TreesInvalidated != st.TreesInvalidated+1 {
+		t.Fatalf("recovery evicted %d graphs / %d trees, want only b's 1/1",
 			st2.GraphsInvalidated-st.GraphsInvalidated, st2.TreesInvalidated-st.TreesInvalidated)
+	}
+	if st2.GraphBuilds != st.GraphBuilds+1 || st2.TreeBuilds != st.TreeBuilds+1 {
+		t.Fatalf("recovery recompile rebuilt %d graphs / %d trees, want 1/1",
+			st2.GraphBuilds-st.GraphBuilds, st2.TreeBuilds-st.TreeBuilds)
 	}
 }
