@@ -7,14 +7,16 @@
 // Usage:
 //
 //	merlin-bench -run all
-//	merlin-bench -run fig4,hadoop,fig5,fig6,table7,fig8,fig9,fig10,incremental,sharding,solver,failover,codegen,ablation
+//	merlin-bench -run fig4,hadoop,fig5,fig6,table7,fig8,fig9,fig10,incremental,sharding,solver,negotiate,failover,codegen,ablation
 //	merlin-bench -run fig6 -zoo-stride 1    # all 262 zoo topologies
 //	merlin-bench -run table7 -json          # also write BENCH_results.json
 //	merlin-bench -check -tolerance 0.25     # gate BENCH_results.json against BENCH_baseline.json
+//	merlin-bench -run negotiate -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // -check is the CI perf-regression gate: it compares every speedup
 // recorded in the results (table7's dense/sparse LP ratio, incremental,
-// sharding, solver's legacy-vs-flow-structured ratios, failover,
+// sharding, solver's legacy-vs-flow-structured ratios, negotiate's
+// batched-vs-serial tenant ratio, failover,
 // codegen's shared-IR ratio) against the committed
 // baseline floors and exits
 // non-zero when any regresses past the tolerance. Run standalone it reads
@@ -29,6 +31,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -39,12 +43,14 @@ const resultsPath = "BENCH_results.json"
 
 func main() {
 	var (
-		run       = flag.String("run", "", "comma-separated experiments: fig4, hadoop, fig5, fig6, table7, fig8, fig9, fig10, incremental, sharding, solver, failover, codegen, ablation (default \"all\", or none with -check)")
-		zooStride = flag.Int("zoo-stride", 10, "sample every Nth Topology Zoo network for fig6 (1 = all 262)")
-		jsonOut   = flag.Bool("json", false, "write per-experiment wall-clock and phase timings to "+resultsPath)
-		check     = flag.Bool("check", false, "compare recorded speedups against -baseline and exit non-zero on regression")
-		tolerance = flag.Float64("tolerance", 0.25, "allowed relative speedup regression before -check fails (0.25 = 25%)")
-		baseline  = flag.String("baseline", "BENCH_baseline.json", "baseline file for -check")
+		run        = flag.String("run", "", "comma-separated experiments: fig4, hadoop, fig5, fig6, table7, fig8, fig9, fig10, incremental, sharding, solver, negotiate, failover, codegen, ablation (default \"all\", or none with -check)")
+		zooStride  = flag.Int("zoo-stride", 10, "sample every Nth Topology Zoo network for fig6 (1 = all 262)")
+		jsonOut    = flag.Bool("json", false, "write per-experiment wall-clock and phase timings to "+resultsPath)
+		check      = flag.Bool("check", false, "compare recorded speedups against -baseline and exit non-zero on regression")
+		tolerance  = flag.Float64("tolerance", 0.25, "allowed relative speedup regression before -check fails (0.25 = 25%)")
+		baseline   = flag.String("baseline", "BENCH_baseline.json", "baseline file for -check")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (after the selected experiments) to this file")
 	)
 	flag.Parse()
 	// Default to running everything unless this is a pure check (-check
@@ -64,6 +70,17 @@ func main() {
 		}
 	}
 	all := want["all"]
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "merlin-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "merlin-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	ran := 0
 	var results []experiments.BenchExperiment
 	printRows := func(rows []experiments.Row) []experiments.Row {
@@ -172,6 +189,8 @@ func main() {
 		printed(experiments.Sharding))
 	section("solver", "general MIP vs bounded-variable simplex vs network simplex",
 		printed(experiments.Solver))
+	section("negotiate", "per-tenant serial negotiation vs batched sharded hub (tenant sweep)",
+		printed(experiments.Negotiate))
 	section("failover", "link-failure recovery vs cold recompile (topology dynamics)",
 		printed(experiments.Failover))
 	section("codegen", "shared-IR multi-target emission vs per-target lowering",
@@ -202,6 +221,28 @@ func main() {
 		}
 		return append(rows, printRows(rs)...), nil
 	})
+	// Profiles cover exactly the experiment runs above — stopped/written
+	// here so -json and -check bookkeeping stays out of them. (Error
+	// paths os.Exit without flushing; a failed run's profile is moot.)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "merlin-bench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "merlin-bench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "merlin-bench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	// An explicit -run that selects nothing is an error even under -check:
 	// silently falling back to a stale BENCH_results.json would let a
 	// typo'd selection green-light numbers that were never measured.

@@ -341,29 +341,43 @@ func (c *Compiler) applyTopoEvents(events []TopoEvent) error {
 					c.stats.AnchoredInvalidated++
 				}
 			}
-			// Best-effort artifacts get the same cable-incidence scoping:
-			// a minimized graph with no edge on an affected cable (and
-			// every sink tree hanging off it — tree edges are a subset)
-			// still describes the degraded topology exactly. Evicted keys
-			// are collected so the tree cache is swept once, not once per
-			// evicted graph.
-			var evicted map[string]bool
+			// Best-effort artifacts get the same cable-incidence scoping: a
+			// minimized graph with no edge on an affected cable (and every
+			// sink tree hanging off it — tree edges are a subset) still
+			// describes the degraded topology exactly. Graphs that do cross
+			// are repaired in place rather than rebuilt: dropping the edges
+			// on affected cables and re-pruning equals a cold build on the
+			// degraded topology byte for byte (logical.Graph.WithoutLinks).
+			// Each surviving graph's sink trees are then kept when none of
+			// their used paths crossed an affected cable — only such a path
+			// could change the reverse BFS's distances or tie-breaks
+			// (sinktree.Tree.RidesLinks) — and rebuilt otherwise. Patched
+			// keys are collected so the tree cache is swept once, not once
+			// per patched graph.
+			ride := func(l topo.LinkID) bool { return cables[c.t.Cable(l)] }
+			var patched map[string]bool
 			for key, ga := range c.graphs {
 				if !graphCrossesCables(c.t, ga.g, cables) {
 					continue
 				}
-				delete(c.graphs, key)
-				c.stats.GraphsInvalidated++
-				if evicted == nil {
-					evicted = map[string]bool{}
+				ga.g = ga.g.WithoutLinks(ride)
+				ga.outage = c.downCables
+				c.stats.GraphsPatched++
+				if patched == nil {
+					patched = map[string]bool{}
 				}
-				evicted[key] = true
+				patched[key] = true
 			}
-			if evicted != nil {
-				for tk := range c.trees {
-					if evicted[tk.key] {
+			if patched != nil {
+				for tk, ta := range c.trees {
+					if !patched[tk.key] {
+						continue
+					}
+					if ta.tr.RidesLinks(ride) {
 						delete(c.trees, tk)
 						c.stats.TreesInvalidated++
+					} else {
+						c.stats.TreesKept++
 					}
 				}
 			}

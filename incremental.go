@@ -7,6 +7,7 @@ import (
 	"merlin/internal/codegen"
 	"merlin/internal/interp"
 	"merlin/internal/logical"
+	"merlin/internal/negotiate"
 	"merlin/internal/policy"
 	"merlin/internal/provision"
 	"merlin/internal/regex"
@@ -109,6 +110,9 @@ type Compiler struct {
 	// set, so a retry cannot take the codegen patch path against a
 	// last-good output the current artifacts no longer describe.
 	tainted bool
+	// hub is the bound tenant-scale negotiation hub (WatchHub), read by
+	// Stats to mirror its counters.
+	hub *negotiate.Hub
 
 	stats CompilerStats
 }
@@ -221,12 +225,32 @@ type CompilerStats struct {
 	// recovery it never saw fail).
 	GraphsInvalidated int
 	TreesInvalidated  int
+	// GraphsPatched counts minimized best-effort product graphs a failure
+	// repaired in place (edges on affected cables dropped, graph
+	// re-pruned) instead of evicting — the repaired graph is byte-
+	// identical to a cold build on the degraded topology. TreesKept counts
+	// sink trees that survived such a patch because no used path crossed
+	// an affected cable; only trees whose used paths did cross are
+	// invalidated and rebuilt.
+	GraphsPatched int
+	TreesKept     int
 	// NetflowShards counts shard solves served by the network-simplex fast
 	// path (pure node-arc incidence structure, no branch and bound);
 	// BnBNodes totals branch-and-bound nodes explored by the general path.
 	// Together they show where provisioning time actually went.
 	NetflowShards int
 	BnBNodes      int
+	// Negotiation-hub counters, mirrored from the bound Hub (WatchHub);
+	// zero when no hub is bound. TenantsActive is the live session count;
+	// TicksBatched the batched reallocation ticks committed through the
+	// compiler; VerifyCacheHits the proposals (and re-validations) served
+	// whole from the verification cache; ProposalsRejected the proposals
+	// turned away by admission control — each one a recompile that never
+	// happened.
+	TenantsActive     int
+	TicksBatched      int
+	VerifyCacheHits   int
+	ProposalsRejected int
 }
 
 // NewCompiler creates an incremental compiler bound to a topology,
@@ -306,11 +330,23 @@ func (c *Compiler) Result() *Result {
 	return c.last
 }
 
-// Stats returns a snapshot of the incremental-work counters.
+// Stats returns a snapshot of the incremental-work counters. With a hub
+// bound (WatchHub), the negotiation counters are folded in from the hub —
+// read after releasing the compiler lock, because a committing tick holds
+// the hub lock while it recompiles through c.mu.
 func (c *Compiler) Stats() CompilerStats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	st := c.stats
+	h := c.hub
+	c.mu.Unlock()
+	if h != nil {
+		hs := h.Stats()
+		st.TenantsActive = hs.TenantsActive
+		st.TicksBatched = hs.TicksBatched
+		st.VerifyCacheHits = hs.VerifyCacheHits
+		st.ProposalsRejected = hs.ProposalsRejected
+	}
+	return st
 }
 
 // Delta is one incremental policy change for Update. Zero-valued fields

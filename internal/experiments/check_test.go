@@ -69,9 +69,9 @@ func TestCheckRegressionsFlagsMissing(t *testing.T) {
 
 // TestCommittedBaselineCoversAcceptance pins the committed baseline file:
 // it must parse, and it must gate every recorded speedup experiment —
-// table7, incremental, sharding, failover, and codegen — with the
-// failover floor high enough that the ≥5x acceptance bar survives the
-// default tolerance.
+// table7, incremental, sharding, solver, negotiate, failover, and codegen
+// — with the failover and negotiate floors high enough that their ≥5x and
+// ≥10x acceptance bars survive the default tolerance.
 func TestCommittedBaselineCoversAcceptance(t *testing.T) {
 	base, err := LoadBenchFile(filepath.Join("..", "..", "BENCH_baseline.json"))
 	if err != nil {
@@ -85,7 +85,7 @@ func TestCommittedBaselineCoversAcceptance(t *testing.T) {
 			}
 		}
 	}
-	for _, name := range []string{"table7", "incremental", "sharding", "solver", "failover", "codegen"} {
+	for _, name := range []string{"table7", "incremental", "sharding", "solver", "negotiate", "failover", "codegen"} {
 		if gated[name] == 0 {
 			t.Errorf("baseline gates no %s speedup", name)
 		}
@@ -100,6 +100,19 @@ func TestCommittedBaselineCoversAcceptance(t *testing.T) {
 				}
 				if bar := floor * 0.75; bar < 5 {
 					t.Errorf("failover floor %.2f × 0.75 = %.2f lets sub-5x recovery pass the gate", floor, bar)
+				}
+			}
+		case "negotiate":
+			// The tenant-scale acceptance bar is a ≥10x batched-window win
+			// over the per-tenant serial path at 10^4 sessions: the floor
+			// must hold it even at full tolerance.
+			for _, r := range e.Rows {
+				var floor float64
+				if _, err := fmt.Sscan(r.Values["speedup"], &floor); err != nil {
+					t.Fatalf("negotiate baseline speedup %q: %v", r.Values["speedup"], err)
+				}
+				if bar := floor * 0.75; bar < 10 {
+					t.Errorf("negotiate floor %.2f × 0.75 = %.2f lets sub-10x batching pass the gate", floor, bar)
 				}
 			}
 		case "solver":

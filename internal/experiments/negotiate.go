@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"merlin/internal/policy"
+	"merlin/internal/topo"
+	"merlin/internal/verify"
+
+	merlin "merlin"
+)
+
+// NegotiateCase is one tenant-scale negotiation measurement: N live
+// sessions on a k=8 fat tree, batched through a sharded Hub versus the
+// pre-hub per-tenant serial path.
+type NegotiateCase struct {
+	Name    string
+	Tenants int
+	// Shards is the number of link-disjoint capacity pools sessions are
+	// grouped into (the fat-tree pod partition at small N, a fixed pool
+	// count at large N — what matters is that updates stay shard-local).
+	Shards int
+	// Compile binds a Compiler to the hub so every committed tick pays
+	// its one recompile; off for the largest case, which measures the
+	// negotiator alone past the point where building a 10^5-statement
+	// policy's device configuration dominates.
+	Compile bool
+	// SampleOps bounds the serially measured per-tenant operations; the
+	// serial estimate extrapolates the per-op mean to all Tenants. Each
+	// op's cost is dominated by work that is O(Tenants) and independent
+	// of which tenant moved (global formula rebuild + one
+	// Compiler.Update), so the mean transfers.
+	SampleOps int
+	// Rounds is the number of measured negotiation windows (after one
+	// warm-up window).
+	Rounds int
+}
+
+// NegotiateCases returns the tenant-count sweep. The 10^4 row is the
+// acceptance target: batched+sharded ticks at least 10x faster than the
+// per-tenant serial architecture for the same demand volume.
+func NegotiateCases() []NegotiateCase {
+	return []NegotiateCase{
+		{Name: "fattree-k8-100t", Tenants: 100, Shards: 8, Compile: true, SampleOps: 50, Rounds: 3},
+		{Name: "fattree-k8-1000t", Tenants: 1000, Shards: 16, Compile: true, SampleOps: 50, Rounds: 3},
+		{Name: "fattree-k8-10000t", Tenants: 10000, Shards: 16, Compile: true, SampleOps: 25, Rounds: 3},
+		{Name: "fattree-k8-100000t", Tenants: 100000, Shards: 32, Compile: false, SampleOps: 0, Rounds: 3},
+	}
+}
+
+// Negotiate measures every case.
+func Negotiate() ([]Row, error) {
+	var rows []Row
+	for _, c := range NegotiateCases() {
+		r, err := NegotiateRun(c)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.Name, err)
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// negotiatePolicy builds the N-tenant cap policy: every tenant owns one
+// statement pinning a (src, dst, port) traffic class to best-effort
+// routing under a 10MB/s cap — the delegated budget its session
+// renegotiates within.
+func negotiatePolicy(t *topo.Topology, tenants int) (*merlin.Policy, error) {
+	macs := t.Identities().MACs()
+	var sb strings.Builder
+	sb.WriteString("[")
+	for i := 0; i < tenants; i++ {
+		src := macs[i%len(macs)]
+		dst := macs[(i*7+1)%len(macs)]
+		if src == dst {
+			dst = macs[(i*7+2)%len(macs)]
+		}
+		fmt.Fprintf(&sb, " t%06d : (eth.src = %s and eth.dst = %s and tcp.dst = %d) -> .* at max(10MB/s) ;",
+			i, src, dst, 1024+i%60000)
+	}
+	sb.WriteString("]")
+	return merlin.ParsePolicy(sb.String(), t)
+}
+
+// negotiateDemand is the deterministic per-tenant demand sequence: a few
+// Mbps, varying by tenant and round so every window coalesces real work.
+func negotiateDemand(tenant, round int) float64 {
+	return float64(1+(tenant*13+round*7)%8) * topo.Mbps
+}
+
+// NegotiateRun measures one case: the wall-clock of a batched negotiation
+// window (N demand arrivals, one sharded Tick, one recompile) against the
+// estimated serial cost of the per-tenant architecture it replaces (per
+// demand: one uncached delegation check, one O(N) global formula rebuild,
+// one Compiler.Update).
+func NegotiateRun(c NegotiateCase) (Row, error) {
+	t := topo.FatTree(8, topo.Gbps)
+	pol, err := negotiatePolicy(t, c.Tenants)
+	if err != nil {
+		return Row{}, err
+	}
+	opts := merlin.Options{NoDefault: true}
+
+	hub, err := merlin.NewHub(pol, merlin.HubOptions{})
+	if err != nil {
+		return Row{}, err
+	}
+	var comp *merlin.Compiler
+	if c.Compile {
+		comp = merlin.NewCompiler(t, nil, opts)
+		if _, err := comp.Compile(hub.Policy()); err != nil {
+			return Row{}, err
+		}
+		comp.WatchHub(hub, nil)
+	}
+	// Shard capacities congest mid-sweep so AIMD exercises both halves of
+	// its control law instead of saturating.
+	perShard := c.Tenants / c.Shards
+	for s := 0; s < c.Shards; s++ {
+		if err := hub.AddShard(fmt.Sprintf("pool%d", s), float64(perShard)*2*topo.Mbps); err != nil {
+			return Row{}, err
+		}
+	}
+	sessions := make([]*merlin.Session, c.Tenants)
+	ctrl := merlin.AIMDState{Alloc: topo.Mbps, Increase: topo.Mbps, Decrease: 0.5}
+	for i := range sessions {
+		s, err := hub.Register(fmt.Sprintf("tenant%06d", i), fmt.Sprintf("pool%d", i%c.Shards),
+			[]string{fmt.Sprintf("t%06d", i)}, ctrl)
+		if err != nil {
+			return Row{}, err
+		}
+		sessions[i] = s
+	}
+
+	// Batched: one warm-up window, then the measured rounds. The window
+	// cost includes the demand arrivals themselves — both architectures
+	// pay per-demand ingestion; only the hub amortizes everything after.
+	window := func(round int) error {
+		for i, s := range sessions {
+			s.OfferDemand(negotiateDemand(i, round))
+		}
+		_, err := hub.Tick()
+		return err
+	}
+	if err := window(0); err != nil {
+		return Row{}, err
+	}
+	start := time.Now()
+	for r := 1; r <= c.Rounds; r++ {
+		if err := window(r); err != nil {
+			return Row{}, err
+		}
+	}
+	windowMS := ms(time.Since(start)) / float64(c.Rounds)
+	hs := hub.Stats()
+	if hs.TenantsActive != c.Tenants || hs.TicksBatched == 0 || hs.DemandsBatched == 0 {
+		return Row{}, fmt.Errorf("hub counters degenerate: %+v", hs)
+	}
+	for id, a := range hub.Allocations() {
+		if a.Max > 10*topo.MBps+1e-6 {
+			return Row{}, fmt.Errorf("%s negotiated past its delegated 10MB/s budget: %g", id, a.Max)
+		}
+	}
+
+	vals := []string{
+		"tenants", fmt.Sprint(c.Tenants),
+		"window_ms", fmt.Sprintf("%.2f", windowMS),
+		"demands", fmt.Sprint(hs.DemandsBatched),
+		"ticks", fmt.Sprint(hs.TicksBatched),
+	}
+	if c.Compile {
+		serialMS, err := negotiateSerial(t, pol, opts, c)
+		if err != nil {
+			return Row{}, err
+		}
+		speedup := 0.0
+		if windowMS > 0 {
+			speedup = serialMS / windowMS
+		}
+		vals = append(vals,
+			"serial_est_ms", fmt.Sprintf("%.1f", serialMS),
+			"speedup", fmt.Sprintf("%.1f", speedup),
+			"patched_codegen", fmt.Sprint(comp.Stats().PatchedCodegens),
+		)
+	}
+	return row(c.Name, vals...), nil
+}
+
+// negotiateSerial measures the architecture the hub replaces: every
+// demand handled the moment it arrives — verify the tenant's new cap
+// against its delegation (uncached, the per-tenant negotiators shared no
+// memo), rebuild the global formula, and push one Compiler.Update. The
+// per-op mean over SampleOps sampled tenants extrapolates to one full
+// window of Tenants demands: each op's dominant costs (formula rebuild,
+// Update) are O(Tenants) regardless of which tenant moved.
+func negotiateSerial(t *topo.Topology, pol *merlin.Policy, opts merlin.Options, c NegotiateCase) (float64, error) {
+	comp := merlin.NewCompiler(t, nil, opts)
+	if _, err := comp.Compile(pol); err != nil {
+		return 0, err
+	}
+	caps := make([]float64, c.Tenants)
+	for i := range caps {
+		caps[i] = 10 * topo.MBps
+	}
+	rebuild := func() policy.Formula {
+		terms := make([]policy.Formula, len(caps))
+		for i, cap := range caps {
+			terms[i] = policy.Max{Expr: policy.BandExpr{IDs: []string{pol.Statements[i].ID}}, Rate: cap}
+		}
+		return policy.ConjFormula(terms...)
+	}
+	ops := c.SampleOps
+	if ops > c.Tenants {
+		ops = c.Tenants
+	}
+	stride := c.Tenants / ops
+	start := time.Now()
+	for k := 0; k < ops; k++ {
+		i := k * stride
+		stmt := pol.Statements[i]
+		// The delegation check the old path ran per demand: new cap
+		// against the statement's delegated budget.
+		newCap := 5 * topo.MBps
+		if k%2 == 1 {
+			newCap = 8 * topo.MBps
+		}
+		parent := &policy.Policy{Statements: []policy.Statement{stmt},
+			Formula: policy.Max{Expr: policy.BandExpr{IDs: []string{stmt.ID}}, Rate: 10 * topo.MBps}}
+		child := &policy.Policy{Statements: []policy.Statement{stmt},
+			Formula: policy.Max{Expr: policy.BandExpr{IDs: []string{stmt.ID}}, Rate: newCap}}
+		rep, err := verify.CheckRefinement(parent, child, verify.Options{})
+		if err != nil {
+			return 0, err
+		}
+		if err := rep.Err(); err != nil {
+			return 0, fmt.Errorf("serial baseline refinement rejected: %w", err)
+		}
+		caps[i] = newCap
+		if _, err := comp.Update(merlin.Delta{Formula: rebuild()}); err != nil {
+			return 0, err
+		}
+	}
+	perOp := ms(time.Since(start)) / float64(ops)
+	if math.IsNaN(perOp) || perOp <= 0 {
+		return 0, fmt.Errorf("serial baseline measured nothing")
+	}
+	return perOp * float64(c.Tenants), nil
+}

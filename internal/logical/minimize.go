@@ -107,6 +107,41 @@ func (g *Graph) Prune() *Graph {
 	return out
 }
 
+// WithoutLinks returns the graph with every edge whose physical link
+// satisfies drop removed, re-pruned. Because Prune preserves vertex
+// numbering and renumbers surviving edges compactly in input order, the
+// result of patching a (pruned) graph built on the full topology is
+// byte-identical to building it cold on the degraded topology: a cold
+// build enumerates the same edges minus the dropped links, in the same
+// order, and prunes the same dead vertices. That identity is what lets
+// the incremental compiler repair cached best-effort graphs in place on a
+// link failure instead of rebuilding them.
+func (g *Graph) WithoutLinks(drop func(topo.LinkID) bool) *Graph {
+	out := &Graph{
+		Topo:      g.Topo,
+		NFA:       g.NFA,
+		States:    g.States,
+		NumVerts:  g.NumVerts,
+		Source:    g.Source,
+		Sink:      g.Sink,
+		TagSource: g.TagSource,
+	}
+	out.Out = make([][]int32, g.NumVerts)
+	out.In = make([][]int32, g.NumVerts)
+	for _, e := range g.Edges {
+		if e.Link >= 0 && drop(e.Link) {
+			continue
+		}
+		id := len(out.Edges)
+		ne := e
+		ne.ID = id
+		out.Edges = append(out.Edges, ne)
+		out.Out[e.From] = append(out.Out[e.From], int32(id))
+		out.In[e.To] = append(out.In[e.To], int32(id))
+	}
+	return out.Prune()
+}
+
 // RecoverTags simulates the tagged epsilon-free NFA over the location
 // sequence of a decoded path and assigns function tags to each step. The
 // location sequence must be in the NFA's language (guaranteed when the

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 )
 
@@ -52,11 +53,7 @@ func (s *Server) allocationsLocked() map[string]float64 {
 		names = append(names, n)
 	}
 	// Deterministic order for MaxMinFairShare input.
-	for i := 1; i < len(names); i++ {
-		for j := i; j > 0 && names[j] < names[j-1]; j-- {
-			names[j], names[j-1] = names[j-1], names[j]
-		}
-	}
+	sort.Strings(names)
 	ds := make([]float64, len(names))
 	for i, n := range names {
 		ds[i] = s.demands[n]

@@ -175,6 +175,44 @@ func (tr *Tree) Edges() []logical.Edge {
 	return out
 }
 
+// RidesLinks reports whether any tree edge used by a reaching source — the
+// exact set Edges enumerates and codegen consumes — lies on a physical
+// link satisfying ride. When it returns false for the links a failure
+// removed, the tree survives the failure verbatim: removing edges can
+// only lengthen distances, so the used chains (whose lengths are
+// unchanged) stay optimal; the BFS tie-breaks are first-minimal in the
+// preserved edge order, and any competitor whose distance the removal did
+// not grow routes through a removed-link chain — which this test would
+// have caught. The codegen-visible tree is therefore identical to a cold
+// rebuild on the patched graph.
+func (tr *Tree) RidesLinks(ride func(topo.LinkID) bool) bool {
+	seen := make(map[int32]bool)
+	for src := range tr.entry {
+		if !tr.Reaches(topo.NodeID(src)) {
+			continue
+		}
+		eid := tr.entry[src]
+		for {
+			if seen[eid] {
+				break
+			}
+			seen[eid] = true
+			e := tr.g.Edges[eid]
+			if e.Link >= 0 && ride(e.Link) {
+				return true
+			}
+			if e.To == tr.g.Sink {
+				break
+			}
+			eid = tr.next[e.To]
+			if eid < 0 {
+				break
+			}
+		}
+	}
+	return false
+}
+
 // BuildTrees computes sink trees for every destination in dsts, skipping
 // unreachable ones when lenient is set (they are reported in the second
 // return).

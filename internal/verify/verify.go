@@ -12,7 +12,6 @@ import (
 
 	"merlin/internal/policy"
 	"merlin/internal/pred"
-	"merlin/internal/regex"
 )
 
 // Options tune verification.
@@ -73,16 +72,28 @@ func (r *Report) Err() error {
 // CheckRefinement verifies that refined is a valid refinement of original:
 // only more restrictive, never more permissive (§4.2).
 func CheckRefinement(original, refined *policy.Policy, opts Options) (*Report, error) {
+	return checkRefinement(original, refined, opts, nil)
+}
+
+// checkRefinement is CheckRefinement with an optional pair-level memo (a
+// nil memo runs every decision procedure directly). The Report's counters
+// record actual decision-procedure invocations, so memo hits do not
+// inflate them — that is the observable contract the incremental-
+// verification tests pin down.
+func checkRefinement(original, refined *policy.Policy, opts Options, m *cacheMemo) (*Report, error) {
+	m.begin(original, refined)
 	rep := &Report{}
 	// Map each original statement to the refined statements overlapping it.
 	overlaps := make([][]int, len(original.Statements))
 	claimed := make([]bool, len(refined.Statements))
 	for i, o := range original.Statements {
 		for j, r := range refined.Statements {
-			rep.PredicateChecks++
-			ov, err := pred.Overlaps(o.Predicate, r.Predicate)
+			ov, hit, err := m.overlaps(i, j, o.Predicate, r.Predicate)
 			if err != nil {
 				return nil, err
+			}
+			if !hit {
+				rep.PredicateChecks++
 			}
 			if ov {
 				overlaps[i] = append(overlaps[i], j)
@@ -102,11 +113,11 @@ func CheckRefinement(original, refined *policy.Policy, opts Options) (*Report, e
 		}
 	}
 	// Localized bandwidth views for the implication check.
-	origAlloc, err := policy.Localize(original.Formula, opts.Split)
+	origAlloc, err := m.localize(original.Formula, opts.Split)
 	if err != nil {
 		return nil, err
 	}
-	refAlloc, err := policy.Localize(refined.Formula, opts.Split)
+	refAlloc, err := m.localize(refined.Formula, opts.Split)
 	if err != nil {
 		return nil, err
 	}
@@ -156,10 +167,12 @@ func CheckRefinement(original, refined *policy.Policy, opts Options) (*Report, e
 		var sumMax, sumMin float64
 		for _, j := range js {
 			r := refined.Statements[j]
-			rep.PathChecks++
-			ok, witness, err := regex.Includes(r.Path, o.Path, regex.Options{Minimize: opts.Minimize})
+			ok, witness, hit, err := m.includes(i, j, r.Path, o.Path, opts.Minimize)
 			if err != nil {
 				return nil, err
+			}
+			if !hit {
+				rep.PathChecks++
 			}
 			if !ok {
 				rep.Violations = append(rep.Violations, Violation{

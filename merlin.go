@@ -59,14 +59,22 @@
 // Dynamic adaptation (§4 of the paper) is exposed through NewNegotiator,
 // Delegate, Propose, and Reallocate; Compiler.Watch binds a compiler to a
 // negotiator so every accepted negotiation tick drives an incremental
-// recompile.
+// recompile. At tenant scale (10⁴–10⁵ live sessions) the negotiator tree
+// gives way to NewHub / Compiler.WatchHub: sessions shard by the
+// link-disjoint provisioning partition (Compiler.NegotiationShards),
+// demand updates coalesce into batched AIMD ticks — one recompile per
+// window, riding the caps-only patch path — and tenant proposals are
+// verified incrementally against their delegations through a fingerprint
+// cache, with admission control rejecting violations instead of
+// recompiling.
 //
 // The topology is dynamic too: link/switch failures, recoveries, and
 // capacity changes flow through the same incremental pipeline as
 // TopoEvents — Delta.Topo, Compiler.ApplyTopo, or a WatchTopo event
 // stream — invalidating only the artifacts each event stales (a link
-// failure rebuilds just the product graphs crossing the failed cable and
-// re-solves just the provisioning shards it touches) and yielding the
+// failure patches the product graphs crossing the failed cable in place,
+// keeps the sink trees whose used paths avoided it, and re-solves just
+// the provisioning shards it touches) and yielding the
 // reroute as a device-level diff:
 //
 //	diff, _ := c.ApplyTopo(merlin.LinkFailure("agg0_0", "edge0_0"))

@@ -1,0 +1,83 @@
+package merlin
+
+import (
+	"merlin/internal/negotiate"
+	"merlin/internal/policy"
+)
+
+// Tenant-scale negotiation, re-exported from the negotiate substrate. A
+// Hub replaces a tree of per-tenant Negotiators when session counts reach
+// 10⁴–10⁵: sessions shard by the same link-disjoint partition
+// provisioning uses (NegotiationShards), demand updates coalesce into one
+// batched AIMD tick per window, and proposals verify incrementally
+// against a fingerprint cache with admission control on failure.
+type (
+	// Hub is the sharded, batching negotiator.
+	Hub = negotiate.Hub
+	// HubOptions tunes a Hub.
+	HubOptions = negotiate.HubOptions
+	// HubStats is a snapshot of a Hub's negotiation counters.
+	HubStats = negotiate.HubStats
+	// Session is one tenant's live negotiation session on a Hub.
+	Session = negotiate.Session
+	// AIMDState is a tenant's additive-increase/multiplicative-decrease
+	// rate controller, the per-session tick policy.
+	AIMDState = negotiate.AIMDState
+)
+
+// NewHub creates a tenant-scale negotiation hub over the administrator's
+// global policy. Compile hub.Policy() — the canonicalized form — when
+// binding a compiler, or just call Compiler.WatchHub which checks in on
+// every commit.
+func NewHub(pol *Policy, opts HubOptions) (*Hub, error) {
+	return negotiate.NewHub(pol, opts)
+}
+
+// WatchHub binds the compiler to a negotiation hub: every committed
+// batched tick or accepted proposal recompiles the new global policy
+// through the artifact caches and hands the device-level diff to onDiff
+// (which may be nil). A compilation error vetoes the commit — the hub
+// rolls its controllers back, so negotiation and compiled state never
+// diverge.
+//
+// Ticks are cheap by construction: a batched tick only moves caps and
+// guarantees on an unchanged statement set, so cap movements take the
+// patched-codegen fast path and guarantee movements re-solve only the
+// provisioning shards they touch, warm-started from the previous basis.
+// After binding, Stats mirrors the hub's counters (TenantsActive,
+// TicksBatched, VerifyCacheHits, ProposalsRejected).
+func (c *Compiler) WatchHub(h *Hub, onDiff func(*Diff)) {
+	c.mu.Lock()
+	c.hub = h
+	c.mu.Unlock()
+	h.OnCommit(func(pol *policy.Policy, pathsChanged bool) error {
+		diff, err := c.compileDiff(pol)
+		if err != nil {
+			return err
+		}
+		if onDiff != nil {
+			onDiff(diff)
+		}
+		return nil
+	})
+}
+
+// NegotiationShards returns the link-disjoint shard grouping the last
+// provisioning pass computed: each element lists the statement IDs of one
+// shard, in input order. This is the partition to key hub shards by
+// (Hub.AddShard + Register) — a batched tick over one group re-solves
+// only that provisioning shard. Statements without bandwidth guarantees
+// occupy no capacity, couple with nothing, and each form their own
+// single-statement shard; nil before the first provisioning pass.
+func (c *Compiler) NegotiationShards() [][]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.prov == nil || c.prov.res == nil {
+		return nil
+	}
+	out := make([][]string, 0, len(c.prov.res.Shards))
+	for _, sh := range c.prov.res.Shards {
+		out = append(out, append([]string(nil), sh.IDs...))
+	}
+	return out
+}

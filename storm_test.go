@@ -58,10 +58,13 @@ func TestWatchTopoDebounceCoalescesStorm(t *testing.T) {
 	if st.TopoEvents != base.TopoEvents+3 {
 		t.Fatalf("applied %d events, want 3", st.TopoEvents-base.TopoEvents)
 	}
-	// One sweep: the switch failure evicts the lone best-effort graph
-	// once; the redundant link alarms are no-ops.
-	if st.GraphsInvalidated != base.GraphsInvalidated+1 {
-		t.Fatalf("storm evicted %d graphs, want 1", st.GraphsInvalidated-base.GraphsInvalidated)
+	// One sweep: the switch failure patches the lone best-effort graph in
+	// place once; the redundant link alarms are no-ops.
+	if st.GraphsPatched != base.GraphsPatched+1 {
+		t.Fatalf("storm patched %d graphs, want 1", st.GraphsPatched-base.GraphsPatched)
+	}
+	if st.GraphsInvalidated != base.GraphsInvalidated || st.GraphBuilds != base.GraphBuilds {
+		t.Fatalf("storm evicted or rebuilt graphs the patch path should repair: %+v -> %+v", base, st)
 	}
 }
 
@@ -96,12 +99,16 @@ func TestWatchTopoDebounceSeparateBursts(t *testing.T) {
 	}
 }
 
-// TestFailureEvictsOnlyIncidentBestEffortGraphs covers selective
-// best-effort invalidation: a link failure evicts only the minimized
-// product graphs (and their sink trees) whose cable incidence touches an
-// affected cable — the same scoping the anchored graphs already get —
-// instead of dropping the caches wholesale.
-func TestFailureEvictsOnlyIncidentBestEffortGraphs(t *testing.T) {
+// TestFailurePatchesOnlyIncidentBestEffortGraphs covers selective
+// best-effort repair: a link failure touches only the minimized product
+// graphs whose cable incidence includes an affected cable — the same
+// scoping the anchored graphs already get — and repairs those in place
+// (WithoutLinks) instead of rebuilding, evicting only the sink trees
+// whose used paths crossed the cable.
+// islandTopo builds two 2-host switch islands joined by a single s1-s2
+// trunk. Identities are deterministic in construction order, so policies
+// parsed against one instance compile against another.
+func islandTopo() *Topology {
 	tp := NewTopology()
 	s1 := tp.AddSwitch("s1")
 	s2 := tp.AddSwitch("s2")
@@ -114,12 +121,16 @@ func TestFailureEvictsOnlyIncidentBestEffortGraphs(t *testing.T) {
 	tp.AddLink(h3, s2, Gbps)
 	tp.AddLink(h4, s2, Gbps)
 	tp.AddLink(s1, s2, Gbps)
+	return tp
+}
 
+func TestFailurePatchesOnlyIncidentBestEffortGraphs(t *testing.T) {
+	tp := islandTopo()
 	ids := tp.Identities()
-	m1, _ := ids.Of(h1)
-	m2, _ := ids.Of(h2)
-	m3, _ := ids.Of(h3)
-	m4, _ := ids.Of(h4)
+	m1, _ := ids.Of(tp.MustLookup("h1"))
+	m2, _ := ids.Of(tp.MustLookup("h2"))
+	m3, _ := ids.Of(tp.MustLookup("h3"))
+	m4, _ := ids.Of(tp.MustLookup("h4"))
 	// Statement a is pinned to the s1 island by its path expression, so
 	// its minimized graph never rides the s1-s2 trunk; statement b's .*
 	// graph spans the whole topology.
@@ -145,20 +156,29 @@ func TestFailureEvictsOnlyIncidentBestEffortGraphs(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := c.Stats()
-	if st.GraphsInvalidated != base.GraphsInvalidated+1 {
-		t.Fatalf("evicted %d best-effort graphs, want only b's 1", st.GraphsInvalidated-base.GraphsInvalidated)
+	if st.GraphsPatched != base.GraphsPatched+1 {
+		t.Fatalf("patched %d best-effort graphs, want only b's 1", st.GraphsPatched-base.GraphsPatched)
 	}
-	if st.TreesInvalidated != base.TreesInvalidated+1 {
-		t.Fatalf("evicted %d sink trees, want only b's 1", st.TreesInvalidated-base.TreesInvalidated)
+	if st.GraphsInvalidated != base.GraphsInvalidated || st.GraphBuilds != base.GraphBuilds {
+		t.Fatalf("b's graph was evicted or rebuilt instead of patched in place: %+v -> %+v", base, st)
 	}
-	if st.GraphBuilds != base.GraphBuilds+1 || st.TreeBuilds != base.TreeBuilds+1 {
-		t.Fatalf("recompile rebuilt %d graphs / %d trees, want 1/1",
-			st.GraphBuilds-base.GraphBuilds, st.TreeBuilds-base.TreeBuilds)
+	// b's tree routes h1, h2 and s1 over the trunk, so it cannot survive
+	// the patch and is rebuilt on the repaired graph.
+	if st.TreesInvalidated != base.TreesInvalidated+1 || st.TreeBuilds != base.TreeBuilds+1 {
+		t.Fatalf("recompile evicted %d / rebuilt %d trees, want only b's 1/1",
+			st.TreesInvalidated-base.TreesInvalidated, st.TreeBuilds-base.TreeBuilds)
 	}
+	// The patched graph must be indistinguishable from a cold build on the
+	// degraded topology: compiled output, paths and placements all match.
+	degraded := islandTopo()
+	if _, err := degraded.SetLinkState(degraded.MustLookup("s1"), degraded.MustLookup("s2"), false); err != nil {
+		t.Fatal(err)
+	}
+	sameCompiled(t, "trunk-failure-patch", c.Result(), pol, degraded, nil, Options{NoDefault: true})
 
-	// Recovery is selective too: only b's graph was rebuilt while the
-	// trunk was down (its outage stamp names the trunk), so only it — and
-	// its tree — drops. Statement a's island graph, built under full
+	// Recovery is selective too: only b's graph was patched while the
+	// trunk was down (the patch stamped it with the outage), so only it —
+	// and its tree — drops. Statement a's island graph, built under full
 	// connectivity and untouched by the failure, survives both events.
 	if _, err := c.ApplyTopo(LinkRecovery("s1", "s2")); err != nil {
 		t.Fatal(err)
@@ -172,4 +192,59 @@ func TestFailureEvictsOnlyIncidentBestEffortGraphs(t *testing.T) {
 		t.Fatalf("recovery recompile rebuilt %d graphs / %d trees, want 1/1",
 			st2.GraphBuilds-st.GraphBuilds, st2.TreeBuilds-st.TreeBuilds)
 	}
+	sameCompiled(t, "trunk-recovery", c.Result(), pol, islandTopo(), nil, Options{NoDefault: true})
+}
+
+// TestFailureKeepsTreesOffUsedPaths pins the surviving-tree half of the
+// patch path: on an odd ring every node has a unique shortest route to the
+// destination, so failing the one cable no tree path uses patches the
+// spanning graph in place but keeps the sink tree verbatim — no tree
+// eviction, no rebuild — and the compiled output is byte-identical to a
+// cold compile on the degraded ring.
+func TestFailureKeepsTreesOffUsedPaths(t *testing.T) {
+	tp := Ring(5, 1, Gbps)
+	ids := tp.Identities()
+	src, _ := ids.Of(tp.MustLookup("h1_0"))
+	dst, _ := ids.Of(tp.MustLookup("h0_0"))
+	pol, err := ParsePolicy(
+		`[ x : (eth.src = `+src.MAC+` and eth.dst = `+dst.MAC+`) -> .* ]`, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{NoDefault: true}
+	c := NewCompiler(tp, nil, opts)
+	if _, err := c.Compile(pol); err != nil {
+		t.Fatal(err)
+	}
+	base := c.Stats()
+
+	// Toward h0_0, s2 routes via s1 (2 hops, not 3 via s3) and s3 via s4,
+	// so the s2-s3 cable carries no tree path — only graph edges.
+	if _, err := c.ApplyTopo(LinkFailure("s2", "s3")); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.GraphsPatched != base.GraphsPatched+1 || st.GraphBuilds != base.GraphBuilds {
+		t.Fatalf("spanning graph not patched in place: %+v -> %+v", base, st)
+	}
+	if st.TreesKept != base.TreesKept+1 || st.TreesInvalidated != base.TreesInvalidated ||
+		st.TreeBuilds != base.TreeBuilds {
+		t.Fatalf("off-path failure did not keep the sink tree: %+v -> %+v", base, st)
+	}
+	degraded := Ring(5, 1, Gbps)
+	if _, err := degraded.SetLinkState(degraded.MustLookup("s2"), degraded.MustLookup("s3"), false); err != nil {
+		t.Fatal(err)
+	}
+	sameCompiled(t, "kept-tree-failure", c.Result(), pol, degraded, nil, opts)
+
+	// The patch stamped the graph with the outage, so recovery evicts and
+	// rebuilds it — the kept tree must not outlive its graph.
+	if _, err := c.ApplyTopo(LinkRecovery("s2", "s3")); err != nil {
+		t.Fatal(err)
+	}
+	st2 := c.Stats()
+	if st2.GraphsInvalidated != st.GraphsInvalidated+1 || st2.TreesInvalidated != st.TreesInvalidated+1 {
+		t.Fatalf("recovery did not evict the patched graph and its tree: %+v -> %+v", st, st2)
+	}
+	sameCompiled(t, "kept-tree-recovery", c.Result(), pol, Ring(5, 1, Gbps), nil, opts)
 }
