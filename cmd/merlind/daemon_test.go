@@ -1,0 +1,392 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"merlin"
+	"merlin/internal/journal"
+	"merlin/internal/topo"
+)
+
+// fatTreeConfig builds a daemon config over a pristine FatTree(4) with a
+// two-statement genesis policy confined to pod 0 — restart tests hand a
+// fresh topology to every boot, the way a restarted process would.
+func fatTreeConfig(dir string) Config {
+	tp := merlin.FatTree(4, merlin.Gbps)
+	return Config{
+		DataDir:    dir,
+		Topo:       tp,
+		PolicyText: testPolicyText(tp),
+		Journal:    journal.Params{NoSync: true},
+	}
+}
+
+func testPolicyText(tp *merlin.Topology) string {
+	return fmt.Sprintf(
+		"[ g0 : (eth.src = %s and eth.dst = %s) -> %s at min(10Mbps) ; g1 : (eth.src = %s and eth.dst = %s) -> %s at min(15Mbps) ]",
+		mac(tp, "h0_0_0"), mac(tp, "h0_1_0"), podExpr(0),
+		mac(tp, "h0_0_1"), mac(tp, "h0_1_1"), podExpr(0))
+}
+
+func mac(tp *merlin.Topology, name string) string {
+	return topo.MACOf(tp.MustLookup(name))
+}
+
+func podExpr(p int) string {
+	var names []string
+	for i := 0; i < 2; i++ {
+		names = append(names, fmt.Sprintf("agg%d_%d", p, i), fmt.Sprintf("edge%d_%d", p, i))
+		for h := 0; h < 2; h++ {
+			names = append(names, fmt.Sprintf("h%d_%d_%d", p, i, h))
+		}
+	}
+	return "( " + strings.Join(names, " | ") + " )*"
+}
+
+// podDelta is a WireDelta adding one guaranteed statement inside pod p.
+func podDelta(tp *merlin.Topology, p int, id string, mbps int) merlin.WireDelta {
+	stmt := fmt.Sprintf("%s : (eth.src = %s and eth.dst = %s) -> %s at min(%dMbps)",
+		id, mac(tp, fmt.Sprintf("h%d_0_0", p)), mac(tp, fmt.Sprintf("h%d_1_1", p)), podExpr(p), mbps)
+	return merlin.WireDelta{Add: []string{stmt}}
+}
+
+func postJSON(t *testing.T, url string, body any) (int, map[string]any) {
+	t.Helper()
+	payload, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("POST %s: decoding response: %v", url, err)
+	}
+	return resp.StatusCode, out
+}
+
+// sameResults asserts two compiled results are byte-identical in every
+// output-bearing field (the restart correctness bar).
+func sameResults(t *testing.T, label string, got, want *merlin.Result) {
+	t.Helper()
+	if got == nil || want == nil {
+		t.Fatalf("%s: nil result (got=%v want=%v)", label, got == nil, want == nil)
+	}
+	for name, check := range map[string]bool{
+		"output":      reflect.DeepEqual(got.Output, want.Output),
+		"paths":       reflect.DeepEqual(got.Paths, want.Paths),
+		"placements":  reflect.DeepEqual(got.Placements, want.Placements),
+		"allocations": reflect.DeepEqual(got.Allocations, want.Allocations),
+		"programs":    reflect.DeepEqual(got.Programs, want.Programs),
+		"outputs":     reflect.DeepEqual(got.Outputs, want.Outputs),
+	} {
+		if !check {
+			t.Fatalf("%s: %s differ", label, name)
+		}
+	}
+}
+
+// referenceCompiler replays the same operation history against a fresh
+// compiler, the oracle every restarted daemon must match byte-for-byte.
+func referenceCompiler(t *testing.T, deltas []merlin.WireDelta, events []merlin.TopoEvent) *merlin.Compiler {
+	t.Helper()
+	tp := merlin.FatTree(4, merlin.Gbps)
+	pol, err := merlin.ParsePolicy(testPolicyText(tp), tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := merlin.NewCompiler(tp, nil, merlin.Options{})
+	if _, err := c.Compile(pol); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range deltas {
+		d, err := c.DecodeDelta(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Update(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, ev := range events {
+		if _, err := c.ApplyTopo(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// TestDaemonGenesisWarmRestart drives the full lifecycle: genesis boot,
+// policy delta and topology change over HTTP, clean shutdown (final
+// snapshot), then a warm reboot whose compiled state — and behavior
+// under further deltas — is byte-identical to a reference compiler that
+// applied the same history.
+func TestDaemonGenesisWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDaemon(fatTreeConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Boot != "genesis" {
+		t.Fatalf("first boot = %q, want genesis", d.Boot)
+	}
+	srv := httptest.NewServer(d.Handler())
+	tp := merlin.FatTree(4, merlin.Gbps) // naming reference only
+
+	delta := podDelta(tp, 1, "g2", 20)
+	status, body := postJSON(t, srv.URL+"/v1/delta", delta)
+	if status != http.StatusOK {
+		t.Fatalf("delta: %d %v", status, body)
+	}
+	if body["seq"].(float64) != 2 { // seq 1 is the genesis policy record
+		t.Fatalf("delta seq = %v, want 2", body["seq"])
+	}
+	event := merlin.CapacityChange("edge0_0", "h0_0_0", 800*merlin.Mbps)
+	status, body = postJSON(t, srv.URL+"/v1/topo", merlin.WireTopoEvents([]merlin.TopoEvent{event}))
+	if status != http.StatusOK {
+		t.Fatalf("topo: %d %v", status, body)
+	}
+	if body["applied"].(float64) != 1 {
+		t.Fatalf("topo applied = %v, want 1", body["applied"])
+	}
+	srv.Close()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ref := referenceCompiler(t, []merlin.WireDelta{delta}, []merlin.TopoEvent{event})
+
+	d2, err := NewDaemon(fatTreeConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Boot != "warm" {
+		t.Fatalf("second boot = %q, want warm (clean shutdown snapshots)", d2.Boot)
+	}
+	sameResults(t, "warm restart", d2.c.Result(), ref.Result())
+
+	// The warm compiler must keep working incrementally, not just render.
+	srv2 := httptest.NewServer(d2.Handler())
+	defer srv2.Close()
+	delta2 := podDelta(tp, 2, "g3", 25)
+	if status, body := postJSON(t, srv2.URL+"/v1/delta", delta2); status != http.StatusOK {
+		t.Fatalf("post-restart delta: %d %v", status, body)
+	}
+	rd, err := ref.DecodeDelta(delta2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Update(rd); err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "post-restart delta", d2.c.Result(), ref.Result())
+
+	resp, err := http.Get(srv2.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Boot string `json:"boot"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Boot != "warm" {
+		t.Fatalf("/v1/stats boot = %q, want warm", stats.Boot)
+	}
+}
+
+// TestDaemonCrashRecoveryTornTail is the crash-recovery acceptance test:
+// the daemon dies without shutdown mid-write (simulated by truncating
+// the final journal record), and the restarted daemon's compiled output
+// is byte-identical to a reference compiler that applied only the
+// durably-acknowledged operations.
+func TestDaemonCrashRecoveryTornTail(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDaemon(fatTreeConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.Handler())
+	tp := merlin.FatTree(4, merlin.Gbps)
+
+	deltas := []merlin.WireDelta{
+		podDelta(tp, 1, "g2", 20),
+		podDelta(tp, 2, "g3", 25),
+		podDelta(tp, 3, "g4", 30),
+	}
+	for i, w := range deltas {
+		status, body := postJSON(t, srv.URL+"/v1/delta", w)
+		if status != http.StatusOK {
+			t.Fatalf("delta %d: %d %v", i, status, body)
+		}
+	}
+	srv.Close() // crash: no d.Close(), journal left as-written
+
+	// Tear the final record: the crash hit mid-append of g4's frame.
+	logs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(logs) == 0 {
+		t.Fatalf("no journal segments: %v %v", logs, err)
+	}
+	sort.Strings(logs)
+	last := logs[len(logs)-1]
+	fi, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, fi.Size()-4); err != nil {
+		t.Fatal(err)
+	}
+
+	// Only g2 and g3 survived durably; g4's record is torn and dropped.
+	ref := referenceCompiler(t, deltas[:2], nil)
+
+	d2, err := NewDaemon(fatTreeConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Boot != "replay" {
+		t.Fatalf("crash boot = %q, want replay (no snapshot was taken)", d2.Boot)
+	}
+	if d2.TornBytes == 0 {
+		t.Fatal("recovery did not report the torn tail")
+	}
+	if d2.BootSeq != 3 { // genesis + g2 + g3
+		t.Fatalf("recovered seq = %d, want 3", d2.BootSeq)
+	}
+	sameResults(t, "crash recovery", d2.c.Result(), ref.Result())
+
+	// The client retries the lost operation; its sequence slot is reused.
+	srv2 := httptest.NewServer(d2.Handler())
+	status, body := postJSON(t, srv2.URL+"/v1/delta", deltas[2])
+	if status != http.StatusOK {
+		t.Fatalf("retried delta: %d %v", status, body)
+	}
+	if body["seq"].(float64) != 4 {
+		t.Fatalf("retried delta seq = %v, want 4", body["seq"])
+	}
+	srv2.Close()
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A third boot is warm off the shutdown snapshot and matches the
+	// full history.
+	ref2 := referenceCompiler(t, deltas, nil)
+	d3, err := NewDaemon(fatTreeConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d3.Close()
+	if d3.Boot != "warm" {
+		t.Fatalf("third boot = %q, want warm", d3.Boot)
+	}
+	sameResults(t, "post-retry warm restart", d3.c.Result(), ref2.Result())
+}
+
+// TestDaemonHubTickJournaled runs negotiation through the daemon: a
+// committed tick journals the hub's full policy, a restart reproduces
+// the committed allocation byte-identically, and hub sessions are
+// volatile — the tenant must re-register after the restart.
+func TestDaemonHubTickJournaled(t *testing.T) {
+	dir := t.TempDir()
+	mkcfg := func() Config {
+		tp := merlin.Ring(8, 1, 100*merlin.MBps)
+		arc := func(lo, hi int) string {
+			var names []string
+			for i := lo; i < hi; i++ {
+				names = append(names, fmt.Sprintf("s%d", i), fmt.Sprintf("h%d_0", i))
+			}
+			return "(" + strings.Join(names, "|") + ")*"
+		}
+		text := fmt.Sprintf("[ a0 : (eth.src = %s and eth.dst = %s) -> %s at max(40MB/s) ]",
+			mac(tp, "h0_0"), mac(tp, "h3_0"), arc(0, 4))
+		return Config{
+			DataDir:    dir,
+			Topo:       tp,
+			PolicyText: text,
+			Opts:       merlin.Options{NoDefault: true},
+			Journal:    journal.Params{NoSync: true},
+		}
+	}
+	d, err := NewDaemon(mkcfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.Handler())
+
+	status, body := postJSON(t, srv.URL+"/v1/hub/register", hubRequest{
+		Tenant: "tenant-a", Shard: "left", ShardCapacityBps: 100 * merlin.MBps,
+		Statements: []string{"a0"},
+		AllocBps:   10 * merlin.MBps, IncreaseBps: 5 * merlin.MBps, Decrease: 0.5,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("register: %d %v", status, body)
+	}
+	if status, body = postJSON(t, srv.URL+"/v1/hub/demand", hubRequest{Tenant: "tenant-a", DemandBps: 60 * merlin.MBps}); status != http.StatusOK {
+		t.Fatalf("demand: %d %v", status, body)
+	}
+	status, body = postJSON(t, srv.URL+"/v1/hub/tick", nil)
+	if status != http.StatusOK {
+		t.Fatalf("tick: %d %v", status, body)
+	}
+	if body["committed"] != true {
+		t.Fatalf("tick did not commit: %v", body)
+	}
+	if body["seq"].(float64) == 0 {
+		t.Fatal("committed tick was not journaled")
+	}
+	committedPolicy := d.hub.Policy().String()
+	srv.Close()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := NewDaemon(mkcfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	snap, err := d2.c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Policy != committedPolicy {
+		t.Fatalf("restart lost the hub-committed policy:\n got %s\nwant %s", snap.Policy, committedPolicy)
+	}
+	// Sessions are volatile: demand for the old session is a 404 until
+	// the tenant re-registers.
+	srv2 := httptest.NewServer(d2.Handler())
+	defer srv2.Close()
+	if status, _ := postJSON(t, srv2.URL+"/v1/hub/demand", hubRequest{Tenant: "tenant-a", DemandBps: merlin.MBps}); status != http.StatusNotFound {
+		t.Fatalf("stale session demand = %d, want 404", status)
+	}
+}
+
+func TestParseTopoSpec(t *testing.T) {
+	for _, spec := range []string{"fattree,k=4", "ring,n=8,hosts=1,cap=1e8", "linear,n=4", "star,n=4,hosts=2", "example"} {
+		if _, err := ParseTopoSpec(spec); err != nil {
+			t.Errorf("%s: %v", spec, err)
+		}
+	}
+	for _, spec := range []string{"mesh,k=4", "fattree,k", "ring,n=x"} {
+		if _, err := ParseTopoSpec(spec); err == nil {
+			t.Errorf("%s: expected error", spec)
+		}
+	}
+}

@@ -104,76 +104,100 @@ func (c *Compiler) ApplyTopo(events ...TopoEvent) (*Diff, error) {
 // closes when the event channel does.
 func (c *Compiler) WatchTopo(events <-chan TopoEvent, onDiff func(*Diff), onErr func(error)) <-chan struct{} {
 	done := make(chan struct{})
-	apply := func(batch []TopoEvent) {
-		diff, err := c.Update(Delta{Topo: batch})
-		if err == nil {
-			if onDiff != nil {
-				onDiff(diff)
-			}
-			return
-		}
-		var ve *topoEventError
-		if len(batch) > 1 && errors.As(err, &ve) {
-			// The batch was rejected up front by a malformed event, before
-			// anything mutated; the rest are still facts. Re-apply
-			// individually. (A post-apply recompile failure takes the plain
-			// error path instead: the events already stuck, so per-event
-			// retries would only repeat the same failing recompile.)
-			for _, ev := range batch {
-				if diff, err := c.Update(Delta{Topo: []TopoEvent{ev}}); err != nil {
-					if onErr != nil {
-						onErr(err)
-					}
-				} else if onDiff != nil {
-					onDiff(diff)
-				}
-			}
-			return
-		}
-		if onErr != nil {
-			onErr(err)
-		}
-	}
 	debounce := c.opts.TopoDebounce
 	go func() {
 		defer close(done)
 		for ev := range events {
-			batch := []TopoEvent{ev}
-			if debounce > 0 {
-				// Debounce: keep collecting until the window (anchored at
-				// the burst's first event) expires or the stream closes.
-				timer := time.NewTimer(debounce)
-			collect:
-				for {
-					select {
-					case next, ok := <-events:
-						if !ok {
-							timer.Stop()
-							break collect
-						}
-						batch = append(batch, next)
-					case <-timer.C:
-						break collect
-					}
-				}
-			} else {
-			drain:
-				for {
-					select {
-					case next, ok := <-events:
-						if !ok {
-							break drain
-						}
-						batch = append(batch, next)
-					default:
-						break drain
-					}
-				}
-			}
-			apply(batch)
+			c.ApplyTopoBatch(collectTopoBatch(ev, events, debounce), onDiff, onErr)
 		}
 	}()
 	return done
+}
+
+// collectTopoBatch coalesces the events already queued behind the first
+// one into a single batch. With a debounce window it additionally holds
+// the batch open for that window (anchored at the first event) so a
+// failure storm whose events trickle in still collapses into one batch;
+// without one it drains whatever is immediately available.
+func collectTopoBatch(first TopoEvent, events <-chan TopoEvent, debounce time.Duration) []TopoEvent {
+	batch := []TopoEvent{first}
+	if debounce > 0 {
+		timer := time.NewTimer(debounce)
+		for {
+			select {
+			case next, ok := <-events:
+				if !ok {
+					timer.Stop()
+					return batch
+				}
+				batch = append(batch, next)
+			case <-timer.C:
+				return batch
+			}
+		}
+	}
+	for {
+		select {
+		case next, ok := <-events:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, next)
+		default:
+			return batch
+		}
+	}
+}
+
+// ApplyTopoBatch applies one coalesced batch of topology events with
+// WatchTopo's semantics — per-event retry when up-front validation
+// rejects a multi-event batch, error reporting without rollback when a
+// recompile fails after the events stuck — and returns the events that
+// were actually applied to the topology. That return value is the
+// durability hook merlind journals: on full success the whole batch; on
+// a validation rejection, the individually-accepted subset (a rejected
+// event never mutated anything); on a post-apply recompile failure, the
+// whole batch still — topology events are facts and are never rolled
+// back. onDiff and onErr may be nil.
+func (c *Compiler) ApplyTopoBatch(batch []TopoEvent, onDiff func(*Diff), onErr func(error)) []TopoEvent {
+	diff, err := c.Update(Delta{Topo: batch})
+	if err == nil {
+		if onDiff != nil {
+			onDiff(diff)
+		}
+		return batch
+	}
+	if len(batch) > 1 && isTopoValidationError(err) {
+		// The batch was rejected up front by a malformed event, before
+		// anything mutated; the rest are still facts. Re-apply
+		// individually. (A post-apply recompile failure takes the plain
+		// error path instead: the events already stuck, so per-event
+		// retries would only repeat the same failing recompile.)
+		var applied []TopoEvent
+		for _, ev := range batch {
+			if diff, err := c.Update(Delta{Topo: []TopoEvent{ev}}); err != nil {
+				if onErr != nil {
+					onErr(err)
+				}
+				if !isTopoValidationError(err) {
+					applied = append(applied, ev) // stuck; only the recompile failed
+				}
+			} else {
+				applied = append(applied, ev)
+				if onDiff != nil {
+					onDiff(diff)
+				}
+			}
+		}
+		return applied
+	}
+	if onErr != nil {
+		onErr(err)
+	}
+	if isTopoValidationError(err) {
+		return nil // single malformed event: rejected before any mutation
+	}
+	return batch // events stuck; only the recompile failed
 }
 
 // topoEventError marks a batch rejected during up-front validation —
@@ -184,6 +208,14 @@ type topoEventError struct{ err error }
 
 func (e *topoEventError) Error() string { return e.err.Error() }
 func (e *topoEventError) Unwrap() error { return e.err }
+
+// isTopoValidationError reports whether an Update error was an up-front
+// topology-event validation rejection (nothing mutated) as opposed to a
+// failure after the events were applied.
+func isTopoValidationError(err error) bool {
+	var ve *topoEventError
+	return errors.As(err, &ve)
+}
 
 // applyTopoEvents validates all events, applies them to the bound
 // topology, and invalidates every cached artifact the mutations can have

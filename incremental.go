@@ -111,8 +111,11 @@ type Compiler struct {
 	// last-good output the current artifacts no longer describe.
 	tainted bool
 	// hub is the bound tenant-scale negotiation hub (WatchHub), read by
-	// Stats to mirror its counters.
+	// Stats to mirror its counters; neg is the bound negotiator (Watch).
+	// Both bindings are exclusive — rebinding detaches the previous
+	// hub's/negotiator's commit callback.
 	hub *negotiate.Hub
+	neg *negotiate.Negotiator
 
 	stats CompilerStats
 }
@@ -329,6 +332,13 @@ func (c *Compiler) Result() *Result {
 	defer c.mu.Unlock()
 	return c.last
 }
+
+// Topology returns the topology the compiler is bound to — immutable
+// after construction except through the compiler itself (Delta.Topo,
+// ApplyTopo, WatchTopo). Callers use it to resolve node names and parse
+// policies against the bound network; mutating it directly leaves the
+// compiler's caches describing a network that no longer exists.
+func (c *Compiler) Topology() *Topology { return c.t }
 
 // Stats returns a snapshot of the incremental-work counters. With a hub
 // bound (WatchHub), the negotiation counters are folded in from the hub —
@@ -583,7 +593,23 @@ func sameStatementSlice(a, b []policy.Statement) bool {
 // path and never rebuilds a graph — and hands the device-level diff to
 // onDiff (which may be nil). A compilation error rejects the negotiation,
 // leaving both the negotiator's policy and the compiled state unchanged.
+//
+// The binding is exclusive on both sides, like WatchHub: a compiler
+// follows at most one negotiator, and a negotiator commits into at most
+// one compiler. Rebinding to a different negotiator detaches the old
+// one — its commits stop reaching this compiler. Unwatch drops the
+// binding entirely.
 func (c *Compiler) Watch(n *Negotiator, onDiff func(*Diff)) {
+	c.mu.Lock()
+	old := c.neg
+	c.neg = n
+	c.mu.Unlock()
+	// Callback swaps happen outside c.mu: OnCommit takes the negotiator
+	// lock, which a committing tick holds while it recompiles through
+	// c.mu — the compiler lock must never wait on a negotiator lock.
+	if old != nil && old != n {
+		old.OnCommit(nil)
+	}
 	n.OnCommit(func(pol *policy.Policy, pathsChanged bool) error {
 		diff, err := c.compileDiff(pol)
 		if err != nil {
@@ -594,6 +620,18 @@ func (c *Compiler) Watch(n *Negotiator, onDiff func(*Diff)) {
 		}
 		return nil
 	})
+}
+
+// Unwatch detaches the bound negotiator, if any: its commits no longer
+// reach this compiler.
+func (c *Compiler) Unwatch() {
+	c.mu.Lock()
+	old := c.neg
+	c.neg = nil
+	c.mu.Unlock()
+	if old != nil {
+		old.OnCommit(nil)
+	}
 }
 
 // compileDiff is Compile plus a diff against the previous result, under

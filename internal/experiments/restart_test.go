@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestRestartSpeedup runs the controller-restart cases (each embeds its
+// own correctness cross-checks: cold and warm recovery byte-identical to
+// the live compiler the history was recorded on, and the snapshot
+// actually honored — warm replays exactly the tail) and asserts the
+// headline acceptance target: on the k=8 fat tree with a 1000-record
+// history, warm snapshot+tail restart must be ≥5x faster than cold
+// full-journal replay (≈10x measured unloaded — warm pays one compile
+// plus ten incremental updates where cold pays a thousand). One retry
+// absorbs scheduler noise on loaded CI runners; the correctness checks
+// are never retried away — a run that fails them fails the test
+// immediately.
+func TestRestartSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped in -short")
+	}
+	for _, c := range RestartCases() {
+		var r Row
+		var speedup float64
+		for attempt := 0; ; attempt++ {
+			var err error
+			r, err = RestartRun(c)
+			if err != nil {
+				t.Fatalf("%s: %v", c.Name, err)
+			}
+			t.Logf("%s", r.Format())
+			speedup, err = strconv.ParseFloat(r.Values["speedup"], 64)
+			if err != nil {
+				t.Fatalf("%s: bad speedup %q", c.Name, r.Values["speedup"])
+			}
+			if speedup >= 5 || attempt >= 1 {
+				break
+			}
+			t.Logf("%s: speedup %.1fx below bar, retrying once for timing noise", c.Name, speedup)
+		}
+		if c.Name == "fattree-k8-restart" && speedup < 5 {
+			t.Errorf("%s: restart speedup %.1fx, want >= 5x", c.Name, speedup)
+		}
+	}
+}
+
+// TestJournalThroughputRuns pins the ungated journal measurement's
+// plumbing: it must produce a row with both append paths populated.
+func TestJournalThroughputRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("does 2000 fsyncs twice; skipped in -short")
+	}
+	rows, err := JournalThroughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	for _, key := range []string{"group_commit_rps", "serial_rps", "group_commit_fsyncs"} {
+		if rows[0].Values[key] == "" {
+			t.Errorf("row missing %s", key)
+		}
+	}
+}

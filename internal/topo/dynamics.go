@@ -48,6 +48,13 @@ func (t *Topology) LinkIsUp(id LinkID) bool {
 // NodeIsUp reports whether a node is live.
 func (t *Topology) NodeIsUp(id NodeID) bool { return !t.nodeState(id) }
 
+// LinkFlaggedDown reports whether a link carries the administrative down
+// flag, independent of its endpoints' node state (which LinkIsUp folds
+// in). SetLinkState records the flag even when an endpoint node is down,
+// so snapshot capture needs this raw view to reproduce the state
+// machine exactly: a flagged cable stays down when its node recovers.
+func (t *Topology) LinkFlaggedDown(id LinkID) bool { return t.linkState(id) }
+
 func (t *Topology) linkState(id LinkID) bool {
 	return len(t.linkDown) > int(id) && t.linkDown[id]
 }

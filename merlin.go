@@ -78,6 +78,24 @@
 // reroute as a device-level diff:
 //
 //	diff, _ := c.ApplyTopo(merlin.LinkFailure("agg0_0", "edge0_0"))
+//
+// Durability comes from cmd/merlind, the journaled controller daemon: it
+// serves all of the above over HTTP/JSON, appends every accepted delta,
+// topology batch, and hub-committed policy to an internal/journal
+// write-ahead log (group-committed fsyncs, ack-after-durable), and
+// snapshots the canonical inputs — Compiler.Snapshot captures policy
+// text, topology state, and placement; RestoreCompiler rebuilds a warm
+// compiler from them — so a restart is one compile plus a short journal
+// tail instead of a replay from genesis:
+//
+//	merlind -addr :8640 -data /var/lib/merlind -topo fattree,k=8 -policy genesis.pol
+//	curl -X POST :8640/v1/delta -d '{"add":["y : (eth.src = h1_0_0 and eth.dst = h2_0_0) -> .* at min(5Mbps)"]}'
+//	# kill -TERM, restart with the same -data and -topo: boots warm,
+//	# byte-identical to the pre-restart compiler (GET /v1/stats → "boot":"warm")
+//
+// WireDelta / WireTopoEvent are the JSON forms, DecodeDelta and
+// ApplyJournalRecord the replay entry points — usable directly by any
+// embedding that wants merlind's durability without its HTTP surface.
 package merlin
 
 import (

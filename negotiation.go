@@ -23,6 +23,8 @@ type (
 	// AIMDState is a tenant's additive-increase/multiplicative-decrease
 	// rate controller, the per-session tick policy.
 	AIMDState = negotiate.AIMDState
+	// TickReport summarizes one batched hub tick.
+	TickReport = negotiate.TickReport
 )
 
 // NewHub creates a tenant-scale negotiation hub over the administrator's
@@ -40,6 +42,13 @@ func NewHub(pol *Policy, opts HubOptions) (*Hub, error) {
 // rolls its controllers back, so negotiation and compiled state never
 // diverge.
 //
+// The binding is exclusive on both sides: a compiler follows at most
+// one hub, and a hub commits into at most one compiler (its single
+// commit callback). Rebinding to a different hub detaches the old one —
+// its commits stop reaching this compiler — and WatchHub-ing one hub
+// onto a second compiler moves the hub's callback there. UnwatchHub
+// drops the binding entirely.
+//
 // Ticks are cheap by construction: a batched tick only moves caps and
 // guarantees on an unchanged statement set, so cap movements take the
 // patched-codegen fast path and guarantee movements re-solve only the
@@ -48,8 +57,15 @@ func NewHub(pol *Policy, opts HubOptions) (*Hub, error) {
 // TicksBatched, VerifyCacheHits, ProposalsRejected).
 func (c *Compiler) WatchHub(h *Hub, onDiff func(*Diff)) {
 	c.mu.Lock()
+	old := c.hub
 	c.hub = h
 	c.mu.Unlock()
+	// Callback swaps happen outside c.mu: OnCommit takes the hub lock,
+	// which a committing tick holds while it recompiles through c.mu —
+	// the compiler lock must never wait on a hub lock.
+	if old != nil && old != h {
+		old.OnCommit(nil)
+	}
 	h.OnCommit(func(pol *policy.Policy, pathsChanged bool) error {
 		diff, err := c.compileDiff(pol)
 		if err != nil {
@@ -60,6 +76,18 @@ func (c *Compiler) WatchHub(h *Hub, onDiff func(*Diff)) {
 		}
 		return nil
 	})
+}
+
+// UnwatchHub detaches the bound hub, if any: its commits no longer
+// reach this compiler, and Stats stops mirroring its counters.
+func (c *Compiler) UnwatchHub() {
+	c.mu.Lock()
+	old := c.hub
+	c.hub = nil
+	c.mu.Unlock()
+	if old != nil {
+		old.OnCommit(nil)
+	}
 }
 
 // NegotiationShards returns the link-disjoint shard grouping the last

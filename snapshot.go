@@ -1,0 +1,168 @@
+package merlin
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Snapshot is a Compiler's durable state at a point in time — what
+// merlind persists so a restart can skip replaying the journal from
+// genesis. It is deliberately small: the compiled output (rules, queue
+// reservations, device programs) is a pure deterministic function of
+// (policy, topology, placement) — the byte-identity invariants the
+// incremental and sharding test suites pin — so the snapshot records
+// only those inputs in canonical form and restore recompiles them. The
+// artifact caches (product graphs, sink trees, shard bases) rebuild as
+// a side effect of that one compile, leaving the compiler exactly as
+// warm as the one that took the snapshot.
+type Snapshot struct {
+	// Seq is the journal sequence the snapshot covers: every record with
+	// a sequence ≤ Seq is folded into it. Set by the caller (merlind)
+	// when pairing the snapshot with its journal.
+	Seq uint64 `json:"seq"`
+	// Policy is the current policy in canonical concrete syntax —
+	// Policy.String(), a verified ParsePolicy fixed point.
+	Policy string `json:"policy"`
+	// Place is the function placement table.
+	Place Placement `json:"place,omitempty"`
+	// Topo is the bound topology's dynamic state (failures, capacity
+	// changes) relative to a pristine construction of the same network.
+	Topo TopoState `json:"topo"`
+}
+
+// TopoState captures a topology's dynamic state — everything SetLinkState /
+// SetNodeState / SetCableCapacity can have changed since construction.
+type TopoState struct {
+	// DownNodes lists failed nodes by name.
+	DownNodes []string `json:"down_nodes,omitempty"`
+	// Cables lists every physical cable with its current per-direction
+	// capacity and administrative down flag. The flag is recorded
+	// independently of node state: a cable failed while its switch was
+	// also down must stay down when the switch recovers.
+	Cables []CableState `json:"cables"`
+}
+
+// CableState is one cable's dynamic state, endpoints by name.
+type CableState struct {
+	A           string  `json:"a"`
+	B           string  `json:"b"`
+	CapacityBps float64 `json:"capacity_bps"`
+	Down        bool    `json:"down,omitempty"`
+}
+
+// Marshal encodes the snapshot for a journal.Store.Snapshot payload.
+func (s *Snapshot) Marshal() ([]byte, error) { return json.Marshal(s) }
+
+// ParseSnapshot decodes a snapshot payload.
+func ParseSnapshot(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("merlin: parse snapshot: %w", err)
+	}
+	return &s, nil
+}
+
+// Snapshot captures the compiler's durable state. It requires at least
+// one successful Compile (there is no policy to record before that).
+func (c *Compiler) Snapshot() (*Snapshot, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.source == nil {
+		return nil, fmt.Errorf("merlin: Compiler.Snapshot called before the first Compile")
+	}
+	return &Snapshot{
+		Policy: c.source.String(),
+		Place:  clonePlacement(c.place),
+		Topo:   CaptureTopoState(c.t),
+	}, nil
+}
+
+// CaptureTopoState records a topology's dynamic state relative to a
+// pristine construction of the same network.
+func CaptureTopoState(t *Topology) TopoState {
+	var st TopoState
+	for _, n := range t.Nodes() {
+		if !t.NodeIsUp(n.ID) {
+			st.DownNodes = append(st.DownNodes, n.Name)
+		}
+	}
+	for _, l := range t.Links() {
+		if t.Cable(l.ID) != l.ID {
+			continue // record each cable once, in its canonical direction
+		}
+		st.Cables = append(st.Cables, CableState{
+			A:           t.Node(l.Src).Name,
+			B:           t.Node(l.Dst).Name,
+			CapacityBps: l.Capacity,
+			Down:        t.LinkFlaggedDown(l.ID),
+		})
+	}
+	return st
+}
+
+// ApplyTopoState replays a captured dynamic state onto a pristine
+// topology of the same structure. Link flags are applied before node
+// failures so the flag-while-node-down semantics reproduce exactly.
+func ApplyTopoState(t *Topology, st TopoState) error {
+	lookup := func(name string) (NodeID, error) {
+		id, ok := t.Lookup(name)
+		if !ok {
+			return 0, fmt.Errorf("merlin: restore: snapshot names node %q absent from the topology", name)
+		}
+		return id, nil
+	}
+	for _, cs := range st.Cables {
+		a, err := lookup(cs.A)
+		if err != nil {
+			return err
+		}
+		b, err := lookup(cs.B)
+		if err != nil {
+			return err
+		}
+		if _, ok := t.CableBetween(a, b); !ok {
+			return fmt.Errorf("merlin: restore: snapshot names cable %s–%s absent from the topology", cs.A, cs.B)
+		}
+		if _, err := t.SetCableCapacity(a, b, cs.CapacityBps); err != nil {
+			return fmt.Errorf("merlin: restore cable %s–%s: %w", cs.A, cs.B, err)
+		}
+		if cs.Down {
+			if _, err := t.SetLinkState(a, b, false); err != nil {
+				return fmt.Errorf("merlin: restore cable %s–%s: %w", cs.A, cs.B, err)
+			}
+		}
+	}
+	for _, name := range st.DownNodes {
+		id, err := lookup(name)
+		if err != nil {
+			return err
+		}
+		if _, err := t.SetNodeState(id, false); err != nil {
+			return fmt.Errorf("merlin: restore node %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// RestoreCompiler rebuilds a warm compiler from a snapshot: it replays
+// the snapshot's topology state onto the given pristine topology,
+// constructs a compiler over it, and compiles the snapshot policy —
+// which, by the pipeline's determinism, reconstructs the compiled
+// output byte-identically and repopulates every artifact cache. The
+// caller then replays the journal tail (ApplyJournalRecord) to roll the
+// compiler forward to the crash point.
+func RestoreCompiler(t *Topology, snap *Snapshot, opts Options) (*Compiler, *Result, error) {
+	if err := ApplyTopoState(t, snap.Topo); err != nil {
+		return nil, nil, err
+	}
+	c := NewCompiler(t, snap.Place, opts)
+	pol, err := ParsePolicy(snap.Policy, t)
+	if err != nil {
+		return nil, nil, fmt.Errorf("merlin: restore: snapshot policy does not parse: %w", err)
+	}
+	res, err := c.Compile(pol)
+	if err != nil {
+		return nil, nil, fmt.Errorf("merlin: restore: snapshot policy does not compile: %w", err)
+	}
+	return c, res, nil
+}
