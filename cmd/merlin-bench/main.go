@@ -7,7 +7,7 @@
 // Usage:
 //
 //	merlin-bench -run all
-//	merlin-bench -run fig4,hadoop,fig5,fig6,table7,fig8,fig9,fig10,incremental,sharding,solver,negotiate,failover,codegen,restart,ablation
+//	merlin-bench -run fig4,hadoop,fig5,fig6,table7,fig8,fig9,fig10,incremental,sharding,solver,negotiate,failover,codegen,restart,tcam,ablation
 //	merlin-bench -run fig6 -zoo-stride 1    # all 262 zoo topologies
 //	merlin-bench -run table7 -json          # also write BENCH_results.json
 //	merlin-bench -check -tolerance 0.25     # gate BENCH_results.json against BENCH_baseline.json
@@ -17,7 +17,8 @@
 // recorded in the results (table7's dense/sparse LP ratio, incremental,
 // sharding, solver's legacy-vs-flow-structured ratios, negotiate's
 // batched-vs-serial tenant ratio, failover,
-// codegen's shared-IR ratio, restart's warm-vs-cold recovery ratio)
+// codegen's shared-IR ratio, restart's warm-vs-cold recovery ratio,
+// tcam's estimate-vs-materialize expansion ratio)
 // against the committed
 // baseline floors and exits
 // non-zero when any regresses past the tolerance. Run standalone it reads
@@ -44,7 +45,7 @@ const resultsPath = "BENCH_results.json"
 
 func main() {
 	var (
-		run        = flag.String("run", "", "comma-separated experiments: fig4, hadoop, fig5, fig6, table7, fig8, fig9, fig10, incremental, sharding, solver, negotiate, failover, codegen, restart, ablation (default \"all\", or none with -check)")
+		run        = flag.String("run", "", "comma-separated experiments: fig4, hadoop, fig5, fig6, table7, fig8, fig9, fig10, incremental, sharding, solver, negotiate, failover, codegen, restart, tcam, ablation (default \"all\", or none with -check)")
 		zooStride  = flag.Int("zoo-stride", 10, "sample every Nth Topology Zoo network for fig6 (1 = all 262)")
 		jsonOut    = flag.Bool("json", false, "write per-experiment wall-clock and phase timings to "+resultsPath)
 		check      = flag.Bool("check", false, "compare recorded speedups against -baseline and exit non-zero on regression")
@@ -198,6 +199,8 @@ func main() {
 		printed(experiments.Codegen))
 	section("restart", "merlind warm snapshot+tail restart vs cold journal replay",
 		printed(experiments.Restart))
+	section("tcam", "ternary expansion vs estimator, budget-overflow re-placement",
+		printed(experiments.Tcam))
 	section("ablation", "design-choice ablations", func() ([]experiments.Row, error) {
 		fmt.Println("-- path-selection heuristics (Fig. 3) --")
 		rows, err := experiments.AblationHeuristics()

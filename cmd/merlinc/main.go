@@ -29,6 +29,7 @@ func main() {
 		placeArg  = flag.String("place", "", "function placements, e.g. dpi=m1;nat=m1,h2")
 		greedy    = flag.Bool("greedy", false, "use the greedy allocator instead of the MIP")
 		targets   = flag.String("targets", "", "comma-separated dataplane backends (default: openflow,tc,click,host; registered: "+strings.Join(merlin.BackendNames(), ",")+")")
+		budgetArg = flag.String("budget", "", "per-device ternary table budgets, e.g. core0=512;r1=0 (overflow re-places or rejects)")
 		workers   = flag.Int("workers", 0, "compile worker pool size (0 = all CPUs, 1 = sequential)")
 		timing    = flag.Bool("time", false, "print the per-phase compile-time breakdown")
 		verbose   = flag.Bool("v", false, "print every generated rule")
@@ -55,6 +56,13 @@ func main() {
 		fatal(err)
 	}
 	opts := merlin.Options{Greedy: *greedy, Workers: *workers}
+	if *budgetArg != "" {
+		budgets, err := parseBudgets(*budgetArg)
+		if err != nil {
+			fatal(err)
+		}
+		opts.TableBudgets = budgets
+	}
 	if *targets != "" {
 		for _, name := range strings.Split(*targets, ",") {
 			if name = strings.TrimSpace(name); name != "" {
@@ -162,6 +170,24 @@ func buildTopology(spec string) (*merlin.Topology, error) {
 	default:
 		return nil, fmt.Errorf("unknown topology %q", spec)
 	}
+}
+
+// parseBudgets parses the -budget form dev=N;dev=N into the per-device
+// ternary table budget map.
+func parseBudgets(arg string) (map[string]int, error) {
+	budgets := map[string]int{}
+	for _, kv := range strings.Split(arg, ";") {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 || parts[0] == "" {
+			return nil, fmt.Errorf("bad -budget entry %q (want dev=N)", kv)
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad -budget entry %q: budget must be a non-negative integer", kv)
+		}
+		budgets[parts[0]] = n
+	}
+	return budgets, nil
 }
 
 func parsePlacement(arg string) merlin.Placement {

@@ -18,6 +18,7 @@ import (
 	"merlin/internal/provision"
 	"merlin/internal/regex"
 	"merlin/internal/sinktree"
+	"merlin/internal/ternary"
 	"merlin/internal/topo"
 )
 
@@ -62,6 +63,18 @@ type Options struct {
 	// one artifact per target; Result.Output aggregates whichever
 	// built-ins were requested.
 	Targets []string
+	// TableBudgets overrides per-device ternary table budgets by node
+	// name, on top of whatever the targeted backends' table models
+	// declare (the lowest applicable limit wins; a backend with no model
+	// for a device class imposes none). A present entry overrides every
+	// model-derived budget for that device — 0 means the device accepts
+	// no ternary entries at all — and setting budgets with no ternary
+	// target still enforces them against the default expansion. When a
+	// compiled placement would overflow some device's budget, the
+	// compiler re-places the guaranteed traffic through the provisioning
+	// MIP with the budgets as placement constraints, and if that is
+	// impossible (or still overflows) rejects with *TableOverflowError.
+	TableBudgets map[string]int
 	// TopoDebounce is WatchTopo's coalescing window: after the first
 	// event of a burst arrives, the watcher keeps collecting events for
 	// this long before applying them as one batch — so a failure storm
@@ -202,6 +215,19 @@ type runState struct {
 	reqArts  []*stmtArtifact
 	reqStmt  map[string]int // request ID -> statement priority
 	sol      *provision.Result
+	// Ternary products of the last codegenFull attempt: the resolved
+	// per-device budget set, and the per-device count of expanded entries
+	// owned by statements with no provisioning request — the entries a
+	// budget-driven re-placement cannot move.
+	budgets  map[topo.NodeID]deviceBudget
+	ternNonG map[topo.NodeID]int
+}
+
+// deviceBudget is one device's resolved ternary table budget and the
+// backend whose table model imposed it ("" = Options.TableBudgets).
+type deviceBudget struct {
+	limit  int
+	target string
 }
 
 func (run *runState) alloc(id string) Alloc {
@@ -685,9 +711,13 @@ func (c *Compiler) bestEffortStage(run *runState, plans []codegen.Plan) ([]codeg
 }
 
 // codegenFull runs phase 4: code generation (§3.4). The plans are lowered
-// once into the target-neutral IR and every requested backend emits its
-// artifact from it. The plan list and lowered program are retained so a
-// later caps-only pass can regenerate just the cap-reachable sections.
+// once into the target-neutral IR; ternary-consuming backends (the v2
+// TernaryEmitter surface) get pre-expanded, budget-checked tables, and
+// every other requested backend emits straight from the IR. The plan list
+// and lowered program are retained so a later caps-only pass can
+// regenerate just the cap-reachable sections. A budget violation surfaces
+// as *codegen.TableOverflowError before any artifact is emitted, so
+// recompile can attempt a budget-constrained re-placement.
 func (c *Compiler) codegenFull(run *runState, plans []codegen.Plan) error {
 	cs := time.Now()
 	prog, err := codegen.Lower(c.t, plans)
@@ -695,10 +725,19 @@ func (c *Compiler) codegenFull(run *runState, plans []codegen.Plan) error {
 		return err
 	}
 	prog.HostFns = c.hostFunctions(run)
+	terns, err := c.ternaryStage(run, prog)
+	if err != nil {
+		return err
+	}
 	arts := make(map[string]codegen.Artifact, len(c.targets))
 	for _, name := range c.targets {
 		b, _ := codegen.Lookup(name) // presence checked by checkTargets before the pipeline ran
-		art, err := b.Emit(c.t, prog)
+		var art codegen.Artifact
+		if te, ok := b.(codegen.TernaryEmitter); ok {
+			art, err = te.EmitTernary(c.t, prog, terns[name])
+		} else {
+			art, err = b.Emit(c.t, prog)
+		}
 		if err != nil {
 			return fmt.Errorf("merlin: backend %s: %w", name, err)
 		}
@@ -709,6 +748,199 @@ func (c *Compiler) codegenFull(run *runState, plans []codegen.Plan) error {
 	c.lastProg = prog
 	c.stats.FullCodegens++
 	run.res.Timing.Codegen = time.Since(cs)
+	return nil
+}
+
+// ternaryStage expands the lowered program into ternary tables for the
+// v2 targets — once per distinct expansion option set, shared across
+// targets with the same table semantics — and checks the resolved
+// per-device budgets against every expansion before anything is emitted.
+// With budgets set but no ternary target, the default expansion is run
+// purely for the check, so Options.TableBudgets constrains symbolic-only
+// compiles too.
+func (c *Compiler) ternaryStage(run *runState, prog *codegen.Program) (map[string]*codegen.TernaryTables, error) {
+	run.budgets = c.tableBudgets()
+	var v2 []string
+	for _, name := range c.targets {
+		if b, _ := codegen.Lookup(name); b != nil {
+			if _, ok := b.(codegen.TernaryEmitter); ok {
+				v2 = append(v2, name)
+			}
+		}
+	}
+	if len(v2) == 0 && len(run.budgets) == 0 {
+		return nil, nil
+	}
+	byOpt := map[ternary.Options]*codegen.TernaryTables{}
+	expand := func(opt ternary.Options) (*codegen.TernaryTables, error) {
+		if tb, ok := byOpt[opt]; ok {
+			return tb, nil
+		}
+		tb, err := codegen.ExpandProgram(c.t, prog, opt)
+		if err != nil {
+			return nil, err
+		}
+		byOpt[opt] = tb
+		c.stats.TernaryEntries += tb.Total
+		return tb, nil
+	}
+	out := make(map[string]*codegen.TernaryTables, len(v2))
+	for _, name := range v2 {
+		opt := ternary.Options{}
+		if m, ok := codegen.BackendModel(name, topo.Switch); ok {
+			opt.SupportsRange = m.SupportsRange
+		}
+		tb, err := expand(opt)
+		if err != nil {
+			return nil, fmt.Errorf("merlin: backend %s: %w", name, err)
+		}
+		out[name] = tb
+	}
+	if len(run.budgets) == 0 {
+		return out, nil
+	}
+	if len(byOpt) == 0 {
+		if _, err := expand(ternary.Options{}); err != nil {
+			return nil, err
+		}
+	}
+	// Record the immovable per-device entry load (entries of statements
+	// with no provisioning request, which a re-placement cannot move),
+	// conservatively maxed across expansions, then check every expansion
+	// against the budget set.
+	guaranteed := make(map[string]bool, len(run.requests))
+	for _, r := range run.requests {
+		guaranteed[r.ID] = true
+	}
+	run.ternNonG = map[topo.NodeID]int{}
+	var overflows []codegen.TableOverflow
+	target := ""
+	for _, tb := range byOpt {
+		nonG := map[topo.NodeID]int{}
+		for _, e := range tb.Entries {
+			if !guaranteed[e.Stmt] {
+				nonG[e.Device]++
+			}
+		}
+		for dev, n := range nonG {
+			if n > run.ternNonG[dev] {
+				run.ternNonG[dev] = n
+			}
+		}
+		for dev, b := range run.budgets {
+			if n := tb.PerDevice[dev]; n > b.limit {
+				overflows = append(overflows, codegen.TableOverflow{
+					Device: dev, Name: c.t.Node(dev).Name, Entries: n, Budget: b.limit,
+				})
+				if target == "" {
+					target = b.target
+				}
+			}
+		}
+	}
+	if len(overflows) > 0 {
+		// Dedup (multiple expansions can flag one device; keep the worst)
+		// and sort for a deterministic error.
+		worst := map[topo.NodeID]codegen.TableOverflow{}
+		for _, o := range overflows {
+			if w, ok := worst[o.Device]; !ok || o.Entries > w.Entries {
+				worst[o.Device] = o
+			}
+		}
+		uniq := make([]codegen.TableOverflow, 0, len(worst))
+		for _, o := range worst {
+			uniq = append(uniq, o)
+		}
+		sort.Slice(uniq, func(i, j int) bool { return uniq[i].Device < uniq[j].Device })
+		return nil, &codegen.TableOverflowError{Target: target, Overflows: uniq}
+	}
+	return out, nil
+}
+
+// tableBudgets resolves the per-device ternary budget set for this
+// compiler's target list: each ternary-consuming backend's table model
+// (per device class, with registration-time per-device overrides)
+// contributes its MaxEntries, the lowest applicable limit winning; then
+// Options.TableBudgets overrides per device name unconditionally.
+func (c *Compiler) tableBudgets() map[topo.NodeID]deviceBudget {
+	out := map[topo.NodeID]deviceBudget{}
+	for _, name := range c.targets {
+		b, _ := codegen.Lookup(name)
+		if b == nil {
+			continue
+		}
+		if _, ok := b.(codegen.TernaryEmitter); !ok {
+			continue
+		}
+		for _, node := range c.t.Nodes() {
+			m, ok := codegen.BackendModel(name, node.Kind)
+			if !ok || m.MaxEntries <= 0 {
+				continue
+			}
+			limit := m.MaxEntries
+			if o, ok := codegen.DeviceBudget(name, node.Name); ok {
+				limit = o
+			}
+			if cur, exists := out[node.ID]; !exists || limit < cur.limit {
+				out[node.ID] = deviceBudget{limit: limit, target: name}
+			}
+		}
+	}
+	for name, limit := range c.opts.TableBudgets {
+		if id, ok := c.t.Lookup(name); ok {
+			out[id] = deviceBudget{limit: limit}
+		}
+	}
+	return out
+}
+
+// replaceForBudgets re-solves the guaranteed placement with the residual
+// per-device budgets (limit minus the immovable best-effort load) as
+// placement constraints in the provisioning MIP, each request weighted
+// by its classifier's expansion estimate. On success the new solution is
+// committed as the provisioning artifact, so subsequent incremental
+// passes reuse the budget-respecting placement.
+func (c *Compiler) replaceForBudgets(run *runState) error {
+	budgets := make(map[topo.NodeID]float64, len(run.budgets))
+	for v, b := range run.budgets {
+		residual := b.limit - run.ternNonG[v]
+		if residual < 0 {
+			return fmt.Errorf("merlin: device %s overflows on best-effort entries alone", c.t.Node(v).Name)
+		}
+		budgets[v] = float64(residual)
+	}
+	cost := make(map[string]float64, len(run.requests))
+	for _, r := range run.requests {
+		w := 1
+		if s, ok := run.work.Statement(r.ID); ok {
+			if est, err := ternary.Estimate(codegen.ResolvePred(c.ids, s.Predicate), ternary.Options{}); err == nil && est > w {
+				w = est
+			}
+		}
+		cost[r.ID] = float64(w)
+	}
+	sol, err := provision.Solve(c.t, run.requests, c.opts.Heuristic, provision.Params{
+		MIP: c.opts.MIP, Workers: c.opts.Workers, LegacyModel: c.opts.LegacyModel,
+		Budgets: budgets, EntryCost: cost,
+	})
+	if err != nil {
+		return err
+	}
+	art := &provArtifact{
+		ids:       make([]string, len(run.requests)),
+		graphs:    make([]*logical.Graph, len(run.requests)),
+		rates:     make([]float64, len(run.requests)),
+		heuristic: c.opts.Heuristic,
+		greedy:    c.opts.Greedy,
+		res:       sol,
+	}
+	for i, r := range run.requests {
+		art.ids[i], art.graphs[i], art.rates[i] = r.ID, r.Graph, r.MinRate
+	}
+	c.prov = art
+	run.sol = sol
+	run.provReused = false
+	c.stats.Solves++
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package merlin
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -237,6 +238,14 @@ type CompilerStats struct {
 	// invalidated and rebuilt.
 	GraphsPatched int
 	TreesKept     int
+	// TernaryEntries totals the ternary table entries expanded for v2
+	// (TernaryEmitter) targets and budget checks — one count per distinct
+	// expansion actually run, so patch-path passes that share artifacts
+	// add nothing. OverflowReplacements counts the compiles whose initial
+	// placement overflowed a device's table budget and was successfully
+	// re-placed through the budget-constrained provisioning MIP.
+	TernaryEntries       int
+	OverflowReplacements int
 	// NetflowShards counts shard solves served by the network-simplex fast
 	// path (pure node-arc incidence structure, no branch and bound);
 	// BnBNodes totals branch-and-bound nodes explored by the general path.
@@ -443,7 +452,7 @@ func diffResults(old, new *Result) *Diff {
 	d := codegen.DiffOutputs(oldOut, new.Output)
 	d.DiffPrograms(oldPrograms, new.Programs)
 	for name, art := range new.Outputs {
-		if codegen.IsBuiltin(name) {
+		if codegen.IsBuiltinTarget(name) {
 			continue
 		}
 		b, ok := codegen.Lookup(name)
@@ -541,7 +550,28 @@ func (c *Compiler) recompile(pol *Policy) (*Result, error) {
 			return nil, err
 		}
 		if err := c.codegenFull(run, plans); err != nil {
-			return nil, err
+			var of *codegen.TableOverflowError
+			if !errors.As(err, &of) || len(run.requests) == 0 || c.opts.Greedy {
+				return nil, err
+			}
+			// A guaranteed placement overflowed a device's table budget:
+			// re-solve it with the residual budgets as MIP constraints and
+			// run codegen again. If the constrained solve is infeasible the
+			// original typed overflow error is returned — the caller learns
+			// which devices cannot fit the policy.
+			if rerr := c.replaceForBudgets(run); rerr != nil {
+				return nil, err
+			}
+			res.Paths = map[string][]string{}
+			res.Placements = map[string][]PlacementChoice{}
+			plans, perr := c.bestEffortStage(run, c.guaranteedPlans(run))
+			if perr != nil {
+				return nil, perr
+			}
+			if err := c.codegenFull(run, plans); err != nil {
+				return nil, err
+			}
+			c.stats.OverflowReplacements++
 		}
 	}
 	c.source = pol

@@ -85,7 +85,7 @@ func TestCommittedBaselineCoversAcceptance(t *testing.T) {
 			}
 		}
 	}
-	for _, name := range []string{"table7", "incremental", "sharding", "solver", "negotiate", "failover", "codegen", "restart"} {
+	for _, name := range []string{"table7", "incremental", "sharding", "solver", "negotiate", "failover", "codegen", "restart", "tcam"} {
 		if gated[name] == 0 {
 			t.Errorf("baseline gates no %s speedup", name)
 		}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	merlin "merlin"
+	"merlin/internal/codegen"
+	"merlin/internal/pred"
+	"merlin/internal/ternary"
+	"merlin/internal/topo"
+)
+
+// tcamWorkload builds the ternary-expansion benchmark's IR directly at
+// the codegen layer: the k-ary fat-tree all-pairs classification mesh
+// (the Hadoop-scale rule population), with every fourth classifier
+// carrying a port-range literal — the expensive case, since each range
+// multiplies its rule by a prefix cover of up to 2·16−2 rows.
+func tcamWorkload(k int) (*topo.Topology, *codegen.Program, error) {
+	t := topo.FatTree(k, topo.Gbps)
+	hosts := t.Hosts()
+	ids := t.Identities()
+	// Range bounds chosen for fat prefix covers (unaligned ends).
+	ranges := []string{"1021-2043", "3-60001", "1025-65534", "5001-10007"}
+	prog := &codegen.Program{}
+	n := 0
+	edge := t.Switches()
+	for _, src := range hosts {
+		si, _ := ids.Of(src)
+		for _, dst := range hosts {
+			if src == dst {
+				continue
+			}
+			di, _ := ids.Of(dst)
+			p := pred.Conj(
+				pred.Test{Field: "eth.src", Value: si.MAC},
+				pred.Test{Field: "eth.dst", Value: di.MAC},
+			)
+			if n%4 == 0 {
+				p = pred.Conj(p, pred.Test{Field: "tcp.dst", Value: ranges[(n/4)%len(ranges)]})
+			}
+			prog.Rules = append(prog.Rules, codegen.Rule{
+				Device:   edge[n%len(edge)],
+				Priority: 100 + n%400,
+				Match:    codegen.Match{InPort: codegen.AnyPort, Tag: codegen.TagNone, Pred: p},
+				Ops:      []codegen.Op{{Kind: codegen.OpForward, Port: topo.LinkID(n % 4)}},
+				Stmt:     fmt.Sprintf("s%d", n),
+			})
+			n++
+		}
+	}
+	return t, prog, nil
+}
+
+// Tcam measures the ternary dataplane pass on the k=8 fat tree: the
+// expansion of the all-pairs range-heavy classifier mesh into value/mask
+// TCAM rows, against the non-materializing estimator that prices the
+// same rules for budget admission and the provisioning MIP's budget
+// rows. The gated speedup is estimate-vs-materialize on identical rules —
+// the reason budget checks can run per compile without paying the
+// expansion. A second, ungated row times the end-to-end overflow
+// re-placement on the two-path topology (detect overflow, re-solve the
+// MIP with budget rows, recompile off the budgeted switch).
+func Tcam() ([]Row, error) {
+	return tcamRun(8, 5)
+}
+
+func tcamRun(k, reps int) ([]Row, error) {
+	t, prog, err := tcamWorkload(k)
+	if err != nil {
+		return nil, err
+	}
+	opt := ternary.Options{SupportsRange: false}
+	ids := t.Identities()
+
+	var expandBest, estimateBest time.Duration
+	var entries, estimated int
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		tables, err := codegen.ExpandProgram(t, prog, opt)
+		if err != nil {
+			return nil, err
+		}
+		expand := time.Since(start)
+
+		start = time.Now()
+		sum := 0
+		for _, rule := range prog.Rules {
+			n, err := codegen.EstimateRuleEntries(rule, opt, ids)
+			if err != nil {
+				return nil, err
+			}
+			sum += n
+		}
+		estimate := time.Since(start)
+
+		entries, estimated = tables.Total, sum
+		if estimated < entries {
+			return nil, fmt.Errorf("estimate %d below materialized %d", estimated, entries)
+		}
+		if r == 0 || expand < expandBest {
+			expandBest = expand
+		}
+		if r == 0 || estimate < estimateBest {
+			estimateBest = estimate
+		}
+	}
+	speedup := 0.0
+	if estimateBest > 0 {
+		speedup = float64(expandBest) / float64(estimateBest)
+	}
+	rows := []Row{row(fmt.Sprintf("fattree-k%d-expand", k),
+		"rules", fmt.Sprint(len(prog.Rules)),
+		"entries", fmt.Sprint(entries),
+		"estimated", fmt.Sprint(estimated),
+		"expand_ms", fmt.Sprintf("%.1f", ms(expandBest)),
+		"estimate_ms", fmt.Sprintf("%.2f", ms(estimateBest)),
+		"speedup", fmt.Sprintf("%.1f", speedup),
+	)}
+
+	replaceRow, err := tcamReplaceRun(reps)
+	if err != nil {
+		return nil, err
+	}
+	return append(rows, replaceRow), nil
+}
+
+// tcamReplaceRun times the budget-overflow re-placement loop end to end:
+// a guarantee lands on the zero-budget narrow-path switch, the expansion
+// overflows, and the compiler re-solves the MIP with the budget as a
+// placement constraint. Reported without a speedup key — it is a cost
+// measurement (what an overflow adds to a compile), not a ratio to gate.
+func tcamReplaceRun(reps int) (Row, error) {
+	tp := merlin.TwoPath(400*merlin.MBps, 100*merlin.MBps)
+	ids := tp.Identities()
+	a, _ := ids.Of(tp.MustLookup("h1"))
+	b, _ := ids.Of(tp.MustLookup("h2"))
+	src := fmt.Sprintf("g : (eth.src = %s and eth.dst = %s) -> .* at min(50MB/s)", a.MAC, b.MAC)
+	pol, err := merlin.ParsePolicy(src, tp)
+	if err != nil {
+		return Row{}, err
+	}
+
+	var plainBest, replaceBest time.Duration
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		if _, err := merlin.Compile(pol, tp, nil, merlin.Options{
+			NoDefault: true, Targets: []string{"tcam"},
+		}); err != nil {
+			return Row{}, err
+		}
+		plain := time.Since(start)
+
+		start = time.Now()
+		c := merlin.NewCompiler(tp, nil, merlin.Options{
+			NoDefault: true, Targets: []string{"tcam"},
+			TableBudgets: map[string]int{"r1": 0},
+		})
+		if _, err := c.Compile(pol); err != nil {
+			return Row{}, err
+		}
+		replace := time.Since(start)
+		if st := c.Stats(); st.OverflowReplacements != 1 {
+			return Row{}, fmt.Errorf("expected 1 overflow re-placement, got %d", st.OverflowReplacements)
+		}
+		if r == 0 || plain < plainBest {
+			plainBest = plain
+		}
+		if r == 0 || replace < replaceBest {
+			replaceBest = replace
+		}
+	}
+	return row("twopath-replace",
+		"plain_ms", fmt.Sprintf("%.2f", ms(plainBest)),
+		"replace_ms", fmt.Sprintf("%.2f", ms(replaceBest)),
+	), nil
+}

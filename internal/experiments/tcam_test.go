@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestTcamExperiment sanity-checks the ternary-dataplane bench on a
+// small instance: the expansion produces entries, the estimator stays an
+// upper bound (tcamRun errors otherwise), and the re-placement row
+// records a successful budget-constrained compile. The k=8 speedup gate
+// lives in merlin-bench -check, not here — estimator-vs-materialize
+// ratios are too timing-fragile for a unit test at k=4 scale.
+func TestTcamExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped in -short")
+	}
+	rows, err := tcamRun(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	exp := rows[0]
+	t.Logf("%s", exp.Format())
+	entries, err := strconv.Atoi(exp.Values["entries"])
+	if err != nil || entries == 0 {
+		t.Fatalf("bad entries %q: %v", exp.Values["entries"], err)
+	}
+	estimated, err := strconv.Atoi(exp.Values["estimated"])
+	if err != nil || estimated < entries {
+		t.Fatalf("estimated %q below entries %d", exp.Values["estimated"], entries)
+	}
+	if _, ok := exp.Values["speedup"]; !ok {
+		t.Fatal("expansion row carries no speedup")
+	}
+	rep := rows[1]
+	t.Logf("%s", rep.Format())
+	if rep.Label != "twopath-replace" {
+		t.Fatalf("unexpected second row %q", rep.Label)
+	}
+	if _, ok := rep.Values["replace_ms"]; !ok {
+		t.Fatal("replace row carries no replace_ms")
+	}
+	if _, ok := rep.Values["speedup"]; ok {
+		t.Fatal("replace row must stay ungated (no speedup key)")
+	}
+}

@@ -53,6 +53,54 @@ func PositiveCubes(p Pred) ([][]Test, error) {
 	return out, nil
 }
 
+// EstimateCubes bounds the weighted number of DNF cubes of p — the
+// classifier rows PositiveCubes would materialize — without materializing
+// them. The weight function prices one literal (a positive or negated
+// test); the result is Σ over cubes of Π over the cube's literals of
+// weight(literal), computed structurally (And multiplies, Or adds), so
+// the cost is linear in the predicate, not in the cube count. A nil
+// weight prices every literal at 1, making the result the plain cube
+// count. The estimate is an upper bound: unsatisfiable cubes, which
+// PositiveCubes drops, are still counted, and duplicate literals still
+// multiply. Ternary expansion uses it to price a classification rule's
+// TCAM footprint (a range literal weighs its prefix count) before — or
+// instead of — building the rows.
+func EstimateCubes(p Pred, weight func(t Test, negated bool) float64) (float64, error) {
+	n, err := toNNF(p, false)
+	if err != nil {
+		return 0, err
+	}
+	if weight == nil {
+		weight = func(Test, bool) float64 { return 1 }
+	}
+	return countCubes(n, weight), nil
+}
+
+func countCubes(n nnf, weight func(Test, bool) float64) float64 {
+	switch x := n.(type) {
+	case nnfTrue:
+		return 1
+	case nnfFalse:
+		return 0
+	case nnfLit:
+		return weight(Test{Field: x.field, Value: x.value}, x.neg)
+	case nnfAnd:
+		out := 1.0
+		for _, part := range x.parts {
+			out *= countCubes(part, weight)
+		}
+		return out
+	case nnfOr:
+		out := 0.0
+		for _, part := range x.parts {
+			out += countCubes(part, weight)
+		}
+		return out
+	default:
+		return 0
+	}
+}
+
 // conjTests collects the tests of a conjunction of positive atoms into
 // acc, reporting false if p contains any other connective.
 func conjTests(p Pred, acc []Test) ([]Test, bool) {

@@ -1,0 +1,121 @@
+package provision
+
+import (
+	"testing"
+
+	"merlin/internal/topo"
+)
+
+// Budgets steer placement: a zero entry budget on the narrow-path switch
+// forces the guarantee onto the wide path that weighted-shortest-path
+// would otherwise avoid.
+func TestBudgetSteersPlacement(t *testing.T) {
+	tp := topo.TwoPath(400*topo.MBps, 100*topo.MBps)
+	r1 := tp.MustLookup("r1")
+	reqs := []Request{req(t, tp, "a", "h1 .* h2", nil, 50*topo.MBps)}
+
+	// Baseline: WSP picks the 2-hop narrow path through r1.
+	res, err := Solve(tp, reqs, WeightedShortestPath, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hops(tp, res.Paths["a"]); got != 2 {
+		t.Fatalf("baseline hops = %d (%v), want 2", got, pathNames(tp, res.Paths["a"]))
+	}
+
+	// Zero budget on r1: the solve must route via l1/l2.
+	res, err = Solve(tp, reqs, WeightedShortestPath, Params{
+		Budgets: map[topo.NodeID]float64{r1: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hops(tp, res.Paths["a"]); got != 3 {
+		t.Fatalf("budgeted hops = %d (%v), want 3 (wide path)", got, pathNames(tp, res.Paths["a"]))
+	}
+	for _, name := range pathNames(tp, res.Paths["a"]) {
+		if name == "r1" {
+			t.Fatal("budget-constrained path still crosses r1")
+		}
+	}
+	if err := res.Validate(tp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// EntryCost weights the budget row: a request whose classifier costs 2
+// entries does not fit a budget of 1, one costing 1 does.
+func TestBudgetEntryCost(t *testing.T) {
+	tp := topo.TwoPath(400*topo.MBps, 100*topo.MBps)
+	r1 := tp.MustLookup("r1")
+	reqs := []Request{req(t, tp, "a", "h1 .* h2", nil, 50*topo.MBps)}
+
+	res, err := Solve(tp, reqs, WeightedShortestPath, Params{
+		Budgets:   map[topo.NodeID]float64{r1: 1},
+		EntryCost: map[string]float64{"a": 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hops(tp, res.Paths["a"]); got != 3 {
+		t.Fatalf("cost-2 guarantee on budget-1 switch: hops = %d, want 3", got)
+	}
+
+	res, err = Solve(tp, reqs, WeightedShortestPath, Params{
+		Budgets:   map[topo.NodeID]float64{r1: 1},
+		EntryCost: map[string]float64{"a": 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hops(tp, res.Paths["a"]); got != 2 {
+		t.Fatalf("cost-1 guarantee on budget-1 switch: hops = %d, want 2 (fits)", got)
+	}
+}
+
+// Budgets on every switch make the problem infeasible — the compiler's
+// reject path.
+func TestBudgetInfeasible(t *testing.T) {
+	tp := topo.TwoPath(400*topo.MBps, 100*topo.MBps)
+	budgets := map[topo.NodeID]float64{}
+	for _, n := range tp.Nodes() {
+		if n.Kind == topo.Switch {
+			budgets[n.ID] = 0
+		}
+	}
+	reqs := []Request{req(t, tp, "a", "h1 .* h2", nil, 50*topo.MBps)}
+	if _, err := Solve(tp, reqs, WeightedShortestPath, Params{Budgets: budgets}); err == nil {
+		t.Fatal("expected infeasibility with zero budgets everywhere")
+	}
+}
+
+// A budgeted solve still respects capacity and produces validated
+// reservations on a multi-request instance; the budget forces the
+// monolithic solver path (sharding disabled), which must stay correct.
+func TestBudgetMultiRequest(t *testing.T) {
+	tp := topo.TwoPath(400*topo.MBps, 100*topo.MBps)
+	r1 := tp.MustLookup("r1")
+	reqs := []Request{
+		req(t, tp, "a", "h1 .* h2", nil, 80*topo.MBps),
+		req(t, tp, "b", "h1 .* h2", nil, 80*topo.MBps),
+	}
+	// r1 fits one entry: at most one guarantee may take the narrow path.
+	res, err := Solve(tp, reqs, WeightedShortestPath, Params{
+		Budgets: map[topo.NodeID]float64{r1: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(tp); err != nil {
+		t.Fatal(err)
+	}
+	narrow := 0
+	for _, steps := range res.Paths {
+		if hops(tp, steps) == 2 {
+			narrow++
+		}
+	}
+	if narrow > 1 {
+		t.Fatalf("%d guarantees through the budget-1 switch", narrow)
+	}
+}

@@ -136,6 +136,21 @@ type Params struct {
 	// The flag forces the general simplex + branch-and-bound path — the
 	// baseline the solver bench and the differential tests compare against.
 	NoNetflow bool
+	// Budgets caps the weighted number of dataplane entries the chosen
+	// paths may install on each listed switch — the ternary table-capacity
+	// constraint of the backend API v2. Each request charges
+	// EntryCost[id] (default 1) to every budgeted switch its path enters,
+	// a conservative over-approximation (transit hops install one
+	// forwarding entry, but the ingress hop installs the statement's full
+	// classifier expansion, and which hop is ingress is the solver's
+	// choice). Budget rows couple otherwise link-disjoint requests through
+	// shared switches and change every cached model's shape, so a budgeted
+	// Solve forces the monolithic general-MIP path: NoShard and NoNetflow
+	// are implied, and Reuse/Warm are ignored.
+	Budgets map[topo.NodeID]float64
+	// EntryCost weighs each request in Budgets rows, by request ID; absent
+	// IDs cost 1 per budgeted switch entered.
+	EntryCost map[string]float64
 	// Dirty lists canonical cable IDs (lower directed link ID of the pair)
 	// whose capacity or state changed since the Reuse solutions were
 	// produced. A reuse-candidate shard whose product graphs can ride a
@@ -160,6 +175,15 @@ func Solve(t *topo.Topology, reqs []Request, h Heuristic, p Params) (*Result, er
 	eps := p.HopEpsilon
 	if eps == 0 {
 		eps = 1e-4
+	}
+	if len(p.Budgets) > 0 {
+		// Budget rows couple requests through shared switches and change
+		// the model shape: cached bases and shard solutions were built
+		// without them and must not install.
+		p.NoShard = true
+		p.NoNetflow = true
+		p.Reuse = nil
+		p.Warm = nil
 	}
 	var comps [][]int
 	if p.NoShard {
@@ -188,11 +212,13 @@ type builtModel struct {
 }
 
 // buildModel encodes the requests into the MIP of §3.2 (equations 1–5)
-// under the given heuristic. The default encoding is compact: per-cable
-// load couples to capacity through the simplex engine's implicit variable
+// under the given heuristic, plus, when p.Budgets is set, the v2
+// table-budget rows. The default encoding is compact: per-cable load
+// couples to capacity through the simplex engine's implicit variable
 // bounds instead of materialized reservation variables and rows; legacy
 // selects the paper-literal encoding (see Params.LegacyModel).
-func buildModel(t *topo.Topology, reqs []Request, h Heuristic, eps float64, legacy bool) *builtModel {
+func buildModel(t *topo.Topology, reqs []Request, h Heuristic, eps float64, p Params) *builtModel {
+	legacy := p.LegacyModel
 	model := mip.NewModel()
 
 	// Cable canonicalization is topo.Cable everywhere — Partition, the
@@ -306,6 +332,37 @@ func buildModel(t *topo.Topology, reqs []Request, h Heuristic, eps float64, lega
 				// eq. 5 alone: L_c <= cuv.
 				model.AddConstraint(terms, lp.LE, capU, fmt.Sprintf("cap_%d", c))
 			}
+		}
+	}
+	// Table-budget rows: for each budgeted switch v, the weighted entry
+	// load Σ_i w_i · Σ_{e entering v over a physical link} x_{i,e} must
+	// stay within the budget. The consuming switch of an edge is its
+	// link's head (the node that installs the forwarding/classifier entry
+	// for packets arriving over that link). Rows are emitted in sorted
+	// node order for determinism, matching the cable rows above.
+	if len(p.Budgets) > 0 {
+		budgeted := make([]topo.NodeID, 0, len(p.Budgets))
+		for v := range p.Budgets {
+			budgeted = append(budgeted, v)
+		}
+		sort.Slice(budgeted, func(i, j int) bool { return budgeted[i] < budgeted[j] })
+		for _, v := range budgeted {
+			var terms []lp.Term
+			for i, r := range reqs {
+				w := 1.0
+				if c, ok := p.EntryCost[r.ID]; ok {
+					w = c
+				}
+				for e, ed := range r.Graph.Edges {
+					if ed.Link >= 0 && t.Link(ed.Link).Dst == v {
+						terms = append(terms, lp.Term{Var: xvars[i][e], Coeff: w})
+					}
+				}
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			model.AddConstraint(terms, lp.LE, p.Budgets[v], fmt.Sprintf("budget_%d", v))
 		}
 	}
 	// Objective. Each edge's hop cost carries a deterministic tie-breaking

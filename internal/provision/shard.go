@@ -311,7 +311,7 @@ func solveOne(t *topo.Topology, reqs []Request, h Heuristic, p Params, eps float
 		// path, which shares no state with the aborted attempt.
 	}
 	start := time.Now()
-	bm := buildModel(t, reqs, h, eps, p.LegacyModel)
+	bm := buildModel(t, reqs, h, eps, p)
 	*construct += time.Since(start)
 
 	solveStart := time.Now()

@@ -1,0 +1,219 @@
+package ternary
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"merlin/internal/packet"
+	"merlin/internal/pred"
+)
+
+// The differential tests check that an expanded ternary table is
+// semantically equivalent to the symbolic classifier it came from: a
+// packet matches some row of Expand(p) exactly when pred.Matches(p)
+// accepts its rendered field map. For negation-free predicates the
+// equivalence is exact; with negations the rows over-approximate (the
+// positive-cube expansion drops negated literals — in the dataplane the
+// shadowing higher-priority rules enforce them), so row-match must be
+// implied by, but need not imply, the symbolic match.
+
+// fieldUniverse is a small value universe per field so random packets
+// and random predicates collide often enough to exercise both outcomes.
+var fieldUniverse = map[pred.Field][]string{
+	"eth.src":  {"00:00:00:00:00:01", "00:00:00:00:00:02", "00:00:00:00:00:03"},
+	"eth.dst":  {"00:00:00:00:00:01", "00:00:00:00:00:02", "00:00:00:00:00:03"},
+	"eth.typ":  {"2048", "2054"},
+	"vlan.id":  {"10", "20"},
+	"ip.src":   {"10.0.0.1", "10.0.0.2", "192.168.1.7"},
+	"ip.dst":   {"10.0.0.1", "10.0.0.2", "192.168.1.7"},
+	"ip.proto": {"6", "17"},
+	"ip.tos":   {"0", "8"},
+	"tcp.src":  {"1000", "2000", "33000"},
+	"tcp.dst":  {"80", "443", "8080"},
+	"udp.src":  {"53", "123"},
+	"udp.dst":  {"53", "5353"},
+}
+
+var universeFields = func() []pred.Field {
+	var fs []pred.Field
+	for _, f := range fieldOrder {
+		if len(fieldUniverse[f]) > 0 {
+			fs = append(fs, f)
+		}
+	}
+	return fs
+}()
+
+func randTest(rng *rand.Rand) pred.Test {
+	f := universeFields[rng.Intn(len(universeFields))]
+	vs := fieldUniverse[f]
+	return pred.Test{Field: f, Value: vs[rng.Intn(len(vs))]}
+}
+
+// randPred builds a random predicate over the universe; withNeg allows
+// Not nodes.
+func randPred(rng *rand.Rand, depth int, withNeg bool) pred.Pred {
+	if depth == 0 || rng.Intn(3) == 0 {
+		return randTest(rng)
+	}
+	switch rng.Intn(7) {
+	case 0, 1, 2:
+		return pred.Conj(randPred(rng, depth-1, withNeg), randPred(rng, depth-1, withNeg))
+	case 3, 4, 5:
+		return pred.Disj(randPred(rng, depth-1, withNeg), randPred(rng, depth-1, withNeg))
+	default:
+		if withNeg {
+			return pred.Negate(randPred(rng, depth-1, withNeg))
+		}
+		return pred.Conj(randPred(rng, depth-1, withNeg), randPred(rng, depth-1, withNeg))
+	}
+}
+
+// randFields draws a random rendered packet over the universe; each
+// field is present with probability ~3/4 (absent fields fail symbolic
+// and ternary matching alike).
+func randFields(rng *rand.Rand) map[pred.Field]string {
+	m := map[pred.Field]string{}
+	for f, vs := range fieldUniverse {
+		if rng.Intn(4) == 0 {
+			continue
+		}
+		m[f] = vs[rng.Intn(len(vs))]
+	}
+	return m
+}
+
+func rowsMatch(rows []Row, fields map[pred.Field]string) bool {
+	for _, r := range rows {
+		if r.Matches(fields) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDifferentialExactPredicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, opt := range []Options{{}, {SupportsRange: true}} {
+		matched, missed := 0, 0
+		for trial := 0; trial < 400; trial++ {
+			p := randPred(rng, 3, false)
+			rows, err := Expand(p, opt)
+			if err != nil {
+				t.Fatalf("trial %d: Expand: %v", trial, err)
+			}
+			for pkt := 0; pkt < 25; pkt++ {
+				fields := randFields(rng)
+				sym := pred.Matches(p, fields)
+				tern := rowsMatch(rows, fields)
+				if sym != tern {
+					t.Fatalf("trial %d (opt %+v): symbolic=%v ternary=%v\npred: %v\nrows: %v\npacket: %v",
+						trial, opt, sym, tern, p, rows, fields)
+				}
+				if sym {
+					matched++
+				} else {
+					missed++
+				}
+			}
+		}
+		// Guard against a vacuous run: both outcomes must occur.
+		if matched == 0 || missed == 0 {
+			t.Fatalf("degenerate sample: %d matches, %d misses", matched, missed)
+		}
+	}
+}
+
+func TestDifferentialNegatedPredicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	overapprox := 0
+	for trial := 0; trial < 400; trial++ {
+		p := randPred(rng, 3, true)
+		rows, err := Expand(p, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: Expand: %v", trial, err)
+		}
+		for pkt := 0; pkt < 25; pkt++ {
+			fields := randFields(rng)
+			sym := pred.Matches(p, fields)
+			tern := rowsMatch(rows, fields)
+			if sym && !tern {
+				t.Fatalf("trial %d: ternary rows missed a symbolic match\npred: %v\nrows: %v\npacket: %v",
+					trial, p, rows, fields)
+			}
+			if tern && !sym {
+				overapprox++ // expected: dropped negated literal
+			}
+		}
+	}
+	if overapprox == 0 {
+		t.Fatal("no over-approximation observed: negation sample is degenerate")
+	}
+}
+
+// Real packets through the real renderer: the ternary rows must agree
+// with the symbolic classifier on packet.Fields() output, not just on
+// hand-built maps.
+func TestDifferentialRenderedPackets(t *testing.T) {
+	p := pred.Disj(
+		pred.Conj(
+			pred.Test{Field: "ip.proto", Value: "6"},
+			pred.Test{Field: "tcp.dst", Value: "80"},
+		),
+		pred.Conj(
+			pred.Test{Field: "eth.src", Value: "00:00:00:00:00:01"},
+			pred.Test{Field: "ip.dst", Value: "10.0.0.2"},
+		),
+	)
+	rows, err := Expand(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := []*packet.Packet{
+		packet.TCPPacket("00:00:00:00:00:05", "00:00:00:00:00:06", "10.0.0.9", "10.0.0.8", 1234, 80, nil),
+		packet.TCPPacket("00:00:00:00:00:05", "00:00:00:00:00:06", "10.0.0.9", "10.0.0.8", 1234, 443, nil),
+		packet.TCPPacket("00:00:00:00:00:01", "00:00:00:00:00:06", "10.0.0.9", "10.0.0.2", 1234, 443, nil),
+		packet.UDPPacket("00:00:00:00:00:01", "00:00:00:00:00:06", "10.0.0.9", "10.0.0.2", 53, 53, nil),
+		packet.UDPPacket("00:00:00:00:00:02", "00:00:00:00:00:06", "10.0.0.9", "10.0.0.3", 53, 53, nil),
+	}
+	for i, pkt := range pkts {
+		fields := pkt.Fields()
+		if sym, tern := pkt.Matches(p), rowsMatch(rows, fields); sym != tern {
+			t.Errorf("packet %d: symbolic=%v ternary=%v (fields %v)", i, sym, tern, fields)
+		}
+	}
+}
+
+// Range semantics: the symbolic classifier cannot interpret "lo-hi"
+// (pred.Matches is string equality), so ranges are checked against the
+// interval oracle directly — native range rows and their prefix covers
+// must accept exactly the ports in [lo, hi], for a full 16-bit sweep.
+func TestDifferentialRangeSweep(t *testing.T) {
+	ranges := [][2]int{{0, 65535}, {1000, 2000}, {0, 0}, {65535, 65535}, {1, 1023}, {3, 7}, {32767, 32768}}
+	for _, r := range ranges {
+		p := pred.Conj(
+			pred.Test{Field: "ip.proto", Value: "6"},
+			pred.Test{Field: "tcp.dst", Value: strconv.Itoa(r[0]) + "-" + strconv.Itoa(r[1])},
+		)
+		native, err := Expand(p, Options{SupportsRange: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prefixes, err := Expand(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fields := map[pred.Field]string{"ip.proto": "6"}
+		for port := 0; port <= 65535; port++ {
+			fields["tcp.dst"] = strconv.Itoa(port)
+			want := port >= r[0] && port <= r[1]
+			if got := rowsMatch(native, fields); got != want {
+				t.Fatalf("range [%d,%d] native: port %d matched=%v want %v", r[0], r[1], port, got, want)
+			}
+			if got := rowsMatch(prefixes, fields); got != want {
+				t.Fatalf("range [%d,%d] prefix: port %d matched=%v want %v", r[0], r[1], port, got, want)
+			}
+		}
+	}
+}

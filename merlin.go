@@ -56,6 +56,35 @@
 // Name/Emit/Diff against the IR and every compile, incremental update,
 // and failure reroute routes per-backend diffs to it.
 //
+// Hardware-shaped targets use the backend API v2, a capability surface
+// discovered by type assertion on the same Backend value: a backend
+// implementing codegen.TableModeler declares a TableModel (table
+// capacity, key width, native range support) per device class, and one
+// implementing codegen.TernaryEmitter receives the compiler's expanded
+// ternary tables — real value/mask TCAM rows, port ranges expanded to
+// prefix covers — instead of rendering symbolic predicates itself. The
+// bundled "tcam" backend is the reference consumer: a vendor-CLI
+// renderer whose per-switch entry counts are checked against each
+// device's table budget before emission. Budgets come from the targeted
+// backends' models, from RegisterBackendWith options, or per device from
+// Options.TableBudgets; when a placement would overflow a device's
+// table, the compiler re-places the guaranteed traffic through the
+// provisioning MIP with the budgets as placement constraints, and
+// rejects with the typed *TableOverflowError only when that is
+// infeasible:
+//
+//	opts := merlin.Options{
+//		Targets:      []string{"tcam"},
+//		TableBudgets: map[string]int{"core0": 512}, // override one switch
+//	}
+//	res, err := merlin.Compile(pol, t, place, opts)
+//	var overflow *merlin.TableOverflowError
+//	if errors.As(err, &overflow) {
+//		for _, o := range overflow.Overflows {
+//			fmt.Printf("%s needs %d entries, budget %d\n", o.Name, o.Entries, o.Budget)
+//		}
+//	}
+//
 // Dynamic adaptation (§4 of the paper) is exposed through NewNegotiator,
 // Delegate, Propose, and Reallocate; Compiler.Watch binds a compiler to a
 // negotiator so every accepted negotiation tick drives an incremental
@@ -111,6 +140,7 @@ import (
 	// registry; importing them here makes every target name in their
 	// packages available to Options.Targets out of the box.
 	_ "merlin/internal/p4"
+	_ "merlin/internal/tcam"
 )
 
 // Re-exported core types. The internal packages carry the implementation;
@@ -138,18 +168,35 @@ type (
 	Artifact = codegen.Artifact
 	// ArtifactDiff is a backend's install/remove delta in native form.
 	ArtifactDiff = codegen.ArtifactDiff
+	// TableModel describes one device class's ternary match table
+	// (capacity, key width, native range support) — what a v2 backend
+	// declares through codegen.TableModeler or registration options.
+	TableModel = codegen.TableModel
+	// BackendOptions carries per-registration v2 settings (table models,
+	// per-device budget overrides) for RegisterBackendWith.
+	BackendOptions = codegen.BackendOptions
+	// TableOverflow is one device's table-budget violation.
+	TableOverflow = codegen.TableOverflow
+	// TableOverflowError is the typed error a compile returns when a
+	// placement's expanded ternary tables exceed some device's budget and
+	// budget-constrained re-placement was infeasible.
+	TableOverflowError = codegen.TableOverflowError
 )
 
 // Backend registry, re-exported from the codegen substrate: new device
 // families register once and become valid Options.Targets names.
 var (
 	RegisterBackend = codegen.Register
-	LookupBackend   = codegen.Lookup
-	BackendNames    = codegen.Names
-	DefaultTargets  = codegen.DefaultTargets
+	// RegisterBackendWith registers a backend together with v2 options —
+	// table models per device class and per-device budget overrides —
+	// without the backend having to implement TableModeler itself.
+	RegisterBackendWith = codegen.RegisterWith
+	LookupBackend       = codegen.Lookup
+	BackendNames        = codegen.Names
+	DefaultTargets      = codegen.DefaultTargets
 	// IsBuiltinTarget reports whether a target's output lands in the
 	// legacy Output/typed-Diff sections (vs Outputs/Diff.Backends).
-	IsBuiltinTarget = codegen.IsBuiltin
+	IsBuiltinTarget = codegen.IsBuiltinTarget
 )
 
 // Capacity units (bits per second).
