@@ -6,6 +6,7 @@
 //
 // Usage:
 //
+//	merlin-bench -list                              # print registered experiments
 //	merlin-bench -run all
 //	merlin-bench -run fig4,hadoop,fig5,fig6,table7,fig8,fig9,fig10,incremental,sharding,solver,negotiate,failover,codegen,restart,tcam,ablation
 //	merlin-bench -run fig6 -zoo-stride 1    # all 262 zoo topologies
@@ -45,7 +46,8 @@ const resultsPath = "BENCH_results.json"
 
 func main() {
 	var (
-		run        = flag.String("run", "", "comma-separated experiments: fig4, hadoop, fig5, fig6, table7, fig8, fig9, fig10, incremental, sharding, solver, negotiate, failover, codegen, restart, tcam, ablation (default \"all\", or none with -check)")
+		run        = flag.String("run", "", "comma-separated experiments, see -list (default \"all\", or none with -check)")
+		list       = flag.Bool("list", false, "print the registered experiments and exit")
 		zooStride  = flag.Int("zoo-stride", 10, "sample every Nth Topology Zoo network for fig6 (1 = all 262)")
 		jsonOut    = flag.Bool("json", false, "write per-experiment wall-clock and phase timings to "+resultsPath)
 		check      = flag.Bool("check", false, "compare recorded speedups against -baseline and exit non-zero on regression")
@@ -72,18 +74,6 @@ func main() {
 		}
 	}
 	all := want["all"]
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "merlin-bench: -cpuprofile: %v\n", err)
-			os.Exit(1)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "merlin-bench: -cpuprofile: %v\n", err)
-			os.Exit(1)
-		}
-	}
-	ran := 0
 	var results []experiments.BenchExperiment
 	printRows := func(rows []experiments.Row) []experiments.Row {
 		for _, r := range rows {
@@ -92,25 +82,16 @@ func main() {
 		return rows
 	}
 
+	// Experiments are registered first and run after the registry is
+	// complete, so -list can print it and an unknown -run name is a hard
+	// error before any measurement starts.
+	type bench struct {
+		name, title string
+		run         func() ([]experiments.Row, error)
+	}
+	var benches []bench
 	section := func(name, title string, f func() ([]experiments.Row, error)) {
-		if !all && !want[name] {
-			return
-		}
-		ran++
-		fmt.Printf("\n=== %s — %s ===\n", name, title)
-		start := time.Now()
-		rows, err := f()
-		elapsed := time.Since(start)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "merlin-bench: %s: %v\n", name, err)
-			os.Exit(1)
-		}
-		results = append(results, experiments.BenchExperiment{
-			Name:   name,
-			Title:  title,
-			WallMS: float64(elapsed.Microseconds()) / 1000,
-			Rows:   rows,
-		})
+		benches = append(benches, bench{name: name, title: title, run: f})
 	}
 
 	printed := func(f func() ([]experiments.Row, error)) func() ([]experiments.Row, error) {
@@ -227,6 +208,59 @@ func main() {
 		}
 		return append(rows, printRows(rs)...), nil
 	})
+
+	if *list {
+		for _, b := range benches {
+			fmt.Printf("%-12s %s\n", b.name, b.title)
+		}
+		return
+	}
+	// An unknown -run name is a hard error, not a silent no-op: a typo'd
+	// selection alongside valid names must never quietly skip its
+	// measurement.
+	known := map[string]bool{"all": true}
+	for _, b := range benches {
+		known[b.name] = true
+	}
+	for name := range want {
+		if !known[name] {
+			fmt.Fprintf(os.Stderr, "merlin-bench: unknown experiment %q in -run; see -list\n", name)
+			os.Exit(2)
+		}
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "merlin-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "merlin-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	ran := 0
+	for _, b := range benches {
+		if !all && !want[b.name] {
+			continue
+		}
+		ran++
+		fmt.Printf("\n=== %s — %s ===\n", b.name, b.title)
+		start := time.Now()
+		rows, err := b.run()
+		elapsed := time.Since(start)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "merlin-bench: %s: %v\n", b.name, err)
+			os.Exit(1)
+		}
+		results = append(results, experiments.BenchExperiment{
+			Name:   b.name,
+			Title:  b.title,
+			WallMS: float64(elapsed.Microseconds()) / 1000,
+			Rows:   rows,
+		})
+	}
 	// Profiles cover exactly the experiment runs above — stopped/written
 	// here so -json and -check bookkeeping stays out of them. (Error
 	// paths os.Exit without flushing; a failed run's profile is moot.)

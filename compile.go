@@ -50,6 +50,12 @@ type Options struct {
 	// provision.Params).
 	LegacyModel bool
 	NoNetflow   bool
+	// NoShard solves the provisioning MIP monolithically instead of
+	// decomposing it into link-disjoint shards. The sharded solve is
+	// provably path-identical (see provision.Params.NoShard), so this is
+	// a differential-testing and measurement escape hatch: sweeps compile
+	// selected cells both ways and require identical outputs.
+	NoShard bool
 	// Workers bounds the worker pool the compiler fans per-statement
 	// product-graph builds and per-destination sink trees out over.
 	// Zero means runtime.NumCPU(); 1 forces the sequential path. Output
@@ -506,6 +512,7 @@ func (c *Compiler) solveRequests(requests []provision.Request) (sol *provision.R
 		params := provision.Params{
 			MIP: c.opts.MIP, Workers: c.opts.Workers,
 			LegacyModel: c.opts.LegacyModel, NoNetflow: c.opts.NoNetflow,
+			NoShard: c.opts.NoShard,
 		}
 		if cached != nil && !cached.greedy && cached.heuristic == c.opts.Heuristic && cached.res != nil {
 			// Shard-level reuse: unchanged shards are served outright and

@@ -1,0 +1,169 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"merlin/internal/topo"
+
+	merlin "merlin"
+)
+
+// genSchedule attaches a balanced failure/recovery timeline to the
+// scenario: a sequence of non-overlapping episodes — link flaps, capacity
+// wobbles, and switch storms — each fully restored before the next
+// begins, so a full replay returns the topology to its pristine state and
+// an incremental compiler's output to its pre-schedule bytes. Every
+// outage is feasibility-checked first: the surviving graph must keep all
+// hosts and middleboxes connected and every region-confined guarantee
+// routable inside its region, so the policy stays compilable at every
+// step of the replay.
+func genSchedule(sc *Scenario, rng *rand.Rand) error {
+	t := sc.Topology
+	type cable struct {
+		id   topo.LinkID
+		a, b string
+	}
+	// Candidate cables: switch-to-switch, in deterministic name order.
+	var cables []cable
+	seen := map[topo.LinkID]bool{}
+	for _, l := range t.Links() {
+		c := t.Cable(l.ID)
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		cl := t.Link(c)
+		sn, dn := t.Node(cl.Src), t.Node(cl.Dst)
+		if sn.Kind != topo.Switch || dn.Kind != topo.Switch {
+			continue
+		}
+		a, b := sn.Name, dn.Name
+		if a > b {
+			a, b = b, a
+		}
+		cables = append(cables, cable{id: c, a: a, b: b})
+	}
+	sort.Slice(cables, func(i, j int) bool {
+		if cables[i].a != cables[j].a {
+			return cables[i].a < cables[j].a
+		}
+		return cables[i].b < cables[j].b
+	})
+	var flaps []cable
+	for _, c := range cables {
+		if scheduleSafe(sc, map[topo.LinkID]bool{c.id: true}, -1) {
+			flaps = append(flaps, c)
+		}
+	}
+	// Storm candidates: switches with no attached hosts whose loss —
+	// all incident cables at once — is survivable.
+	var storms []topo.NodeID
+	for _, s := range t.Switches() {
+		hasHost := false
+		skip := map[topo.LinkID]bool{}
+		for _, l := range t.Out(s) {
+			skip[t.Cable(l)] = true
+			if t.Node(t.Link(l).Dst).Kind == topo.Host {
+				hasHost = true
+			}
+		}
+		if hasHost {
+			continue
+		}
+		if scheduleSafe(sc, skip, s) {
+			storms = append(storms, s)
+		}
+	}
+
+	step := 0
+	emit := func(down, up merlin.TopoEvent) {
+		sc.Schedule = append(sc.Schedule,
+			ScheduledEvent{Step: step, Event: down},
+			ScheduledEvent{Step: step + 1, Event: up})
+		step += 2
+	}
+	episodes := sc.Spec.episodes()
+	for i := 0; i < episodes; i++ {
+		// Rotate episode kinds, degrading to a capacity wobble — always
+		// safe, it never breaks connectivity — when the preferred kind has
+		// no safe candidate left.
+		kind := i % 3
+		if kind == 0 && len(flaps) == 0 {
+			kind = 2
+		}
+		if kind == 1 && len(storms) == 0 {
+			kind = 2
+		}
+		if kind == 2 && len(cables) == 0 {
+			if len(flaps) > 0 {
+				kind = 0
+			} else {
+				break
+			}
+		}
+		switch kind {
+		case 0:
+			j := rng.Intn(len(flaps))
+			c := flaps[j]
+			flaps = append(flaps[:j], flaps[j+1:]...)
+			emit(merlin.LinkFailure(c.a, c.b), merlin.LinkRecovery(c.a, c.b))
+		case 1:
+			j := rng.Intn(len(storms))
+			s := storms[j]
+			storms = append(storms[:j], storms[j+1:]...)
+			name := t.Node(s).Name
+			emit(merlin.SwitchFailure(name), merlin.SwitchRecovery(name))
+		case 2:
+			j := rng.Intn(len(cables))
+			c := cables[j]
+			cables = append(cables[:j], cables[j+1:]...)
+			orig := t.Link(c.id).Capacity
+			emit(merlin.CapacityChange(c.a, c.b, orig/2), merlin.CapacityChange(c.a, c.b, orig))
+		}
+	}
+	if len(sc.Schedule) == 0 {
+		return fmt.Errorf("corpus: no feasible failure episode on %s", sc.Spec.Topo)
+	}
+	sc.Invariants.Balanced = true
+	return nil
+}
+
+// scheduleSafe reports whether the policy survives an outage: with the
+// given cables down (and optionally a switch, pass -1 for none), all
+// hosts and middleboxes must stay mutually connected (best-effort and
+// chain statements stay routable) and every region-confined guarantee
+// must stay routable inside its region.
+func scheduleSafe(sc *Scenario, skip map[topo.LinkID]bool, down topo.NodeID) bool {
+	t := sc.Topology
+	hosts := t.Hosts()
+	root := hosts[0]
+	for _, h := range hosts[1:] {
+		if !reachable(t, root, h, skip, down, nil) {
+			return false
+		}
+	}
+	for _, m := range t.Middleboxes() {
+		if !reachable(t, root, m, skip, down, nil) {
+			return false
+		}
+	}
+	for _, g := range sc.Guarantee {
+		if len(g.Region) == 0 {
+			continue
+		}
+		allowed := map[topo.NodeID]bool{}
+		for _, name := range g.Region {
+			if id, ok := t.Lookup(name); ok {
+				allowed[id] = true
+			}
+		}
+		src, okS := t.Lookup(g.Src)
+		dst, okD := t.Lookup(g.Dst)
+		if !okS || !okD || !reachable(t, src, dst, skip, down, allowed) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,215 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"merlin/internal/topo"
+)
+
+// genTenants builds the multi-tenant guarantee suite: the topology is
+// partitioned into link-disjoint regions, tenants cycle over the regions
+// (one tenant per region when the graph yields enough), and each tenant
+// asks for min-rate guarantees between host pairs inside its region,
+// confined there by the path expression — the sharding/failover workload
+// shape, synthesized for arbitrary graphs.
+func genTenants(sc *Scenario, rng *rand.Rand) error {
+	t := sc.Topology
+	regions := partitionRegions(t, sc.Spec.tenants(t))
+	if len(regions) == 0 {
+		// No region holds two hosts (hub-and-spoke shapes): fall back to
+		// one region spanning every node, which still compiles — it just
+		// yields a single shard.
+		all := &region{set: map[topo.NodeID]bool{}}
+		for _, n := range t.Nodes() {
+			if n.Kind == topo.Host || n.Kind == topo.Switch {
+				all.set[t.MustLookup(n.Name)] = true
+				all.names = append(all.names, n.Name)
+				if n.Kind == topo.Host {
+					all.hosts = append(all.hosts, n.Name)
+				}
+			}
+		}
+		sort.Strings(all.names)
+		sort.Strings(all.hosts)
+		regions = []*region{all}
+	}
+	nT := sc.Spec.tenants(t)
+	nG := sc.Spec.guaranteesPerTenant()
+	var sb strings.Builder
+	sb.WriteString("[")
+	port := 1000
+	for p := 0; p < nT; p++ {
+		reg := regions[p%len(regions)]
+		expr := "( " + strings.Join(reg.names, " | ") + " )*"
+		tenant := Tenant{Name: fmt.Sprintf("tenant%d", p), Region: reg.names}
+		for g := 0; g < nG; g++ {
+			src, dst := pickPair(rng, reg.hosts)
+			rate := float64(5+5*rng.Intn(5)) * topo.Mbps
+			id := fmt.Sprintf("t%dg%d", p, g)
+			// A unique port keeps guarantees predicate-disjoint even when
+			// two draws collide on the same host pair.
+			fmt.Fprintf(&sb, " %s : (eth.src = %s and eth.dst = %s and tcp.dst = %d) -> %s at min(%dMbps) ;",
+				id, macOf(t, src), macOf(t, dst), port, expr, int(rate/topo.Mbps))
+			port++
+			tenant.StmtIDs = append(tenant.StmtIDs, id)
+			sc.Guarantee = append(sc.Guarantee, Guarantee{
+				ID: id, Tenant: tenant.Name, Src: src, Dst: dst,
+				Region: reg.names, RateBps: rate,
+			})
+			sc.Traffic = append(sc.Traffic, FlowSpec{
+				ID: id, Src: src, Dst: dst, Stmt: id,
+				DemandBps: 1.5 * rate, MinBps: rate,
+			})
+		}
+		sc.Tenants = append(sc.Tenants, tenant)
+	}
+	sb.WriteString("]")
+	sc.PolicyText = sb.String()
+	sc.Invariants.Statements = nT * nG
+	sc.Invariants.Guaranteed = nT * nG
+	sc.Invariants.Tenants = nT
+	sc.Invariants.Confined = true
+	return nil
+}
+
+// genChains builds the middlebox-chain suite: two middleboxes are
+// attached to the highest-degree switches, and dpi/nat/firewall function
+// paths steer sampled host pairs through them — a third of the chains
+// carrying a bandwidth guarantee, the rest best-effort.
+func genChains(sc *Scenario, rng *rand.Rand) error {
+	t := sc.Topology
+	sws := append([]topo.NodeID(nil), t.Switches()...)
+	sort.Slice(sws, func(i, j int) bool {
+		di, dj := len(t.Neighbors(sws[i])), len(t.Neighbors(sws[j]))
+		if di != dj {
+			return di > dj
+		}
+		return sws[i] < sws[j]
+	})
+	anchors := []topo.NodeID{sws[0], sws[0]}
+	if len(sws) > 1 {
+		anchors[1] = sws[1]
+	}
+	mbs := make([]string, 2)
+	for i, sw := range anchors {
+		mbs[i] = fmt.Sprintf("mb%d", i)
+		mb := t.AddMiddlebox(mbs[i])
+		t.AddLink(sw, mb, topo.Gbps)
+	}
+	sc.Placement = map[string][]string{
+		"dpi": {mbs[0]},
+		"nat": {mbs[1]},
+		"fw":  {mbs[0], mbs[1]},
+	}
+	hosts := hostNames(t)
+	n := sc.Spec.tenants(t) * sc.Spec.guaranteesPerTenant()
+	var sb strings.Builder
+	sb.WriteString("[")
+	guaranteed := 0
+	for i := 0; i < n; i++ {
+		src, dst := pickPair(rng, hosts)
+		id := fmt.Sprintf("c%d", i)
+		g := Guarantee{ID: id, Tenant: "", Src: src, Dst: dst}
+		flow := FlowSpec{ID: id, Src: src, Dst: dst, Stmt: id, DemandBps: 20 * topo.Mbps}
+		switch i % 3 {
+		case 0:
+			fmt.Fprintf(&sb, " %s : (eth.src = %s and eth.dst = %s and tcp.dst = %d) -> ( .* fw .* ) ;",
+				id, macOf(t, src), macOf(t, dst), 80+i)
+			g.Via = []string{"fw"}
+		case 1:
+			rate := float64(5+5*rng.Intn(3)) * topo.Mbps
+			fmt.Fprintf(&sb, " %s : (eth.src = %s and eth.dst = %s and udp.dst = %d) -> ( .* dpi .* ) at min(%dMbps) ;",
+				id, macOf(t, src), macOf(t, dst), 5000+i, int(rate/topo.Mbps))
+			g.Via = []string{"dpi"}
+			g.RateBps = rate
+			flow.MinBps = rate
+			flow.DemandBps = 1.5 * rate
+			guaranteed++
+		case 2:
+			fmt.Fprintf(&sb, " %s : (eth.src = %s and eth.dst = %s and tcp.dst = %d) -> ( .* nat .* dpi .* ) ;",
+				id, macOf(t, src), macOf(t, dst), 8000+i)
+			g.Via = []string{"nat", "dpi"}
+		}
+		sc.Guarantee = append(sc.Guarantee, g)
+		sc.Traffic = append(sc.Traffic, flow)
+	}
+	sb.WriteString("]")
+	sc.PolicyText = sb.String()
+	sc.Invariants.Statements = n
+	sc.Invariants.Guaranteed = guaranteed
+	return nil
+}
+
+// genDelegation builds the negotiation suite: tenants own capped
+// best-effort statements (the inline max() terms a hub renegotiates),
+// shaped like the tenant-scale negotiation benchmark's policies.
+func genDelegation(sc *Scenario, rng *rand.Rand) error {
+	t := sc.Topology
+	hosts := hostNames(t)
+	nT := sc.Spec.tenants(t)
+	nG := sc.Spec.guaranteesPerTenant()
+	var sb strings.Builder
+	sb.WriteString("[")
+	for p := 0; p < nT; p++ {
+		capMB := 50 + 25*rng.Intn(5)
+		tenant := Tenant{Name: fmt.Sprintf("tenant%d", p), CapBps: float64(capMB) * topo.MBps}
+		for g := 0; g < nG; g++ {
+			src, dst := pickPair(rng, hosts)
+			id := fmt.Sprintf("t%ds%d", p, g)
+			fmt.Fprintf(&sb, " %s : (eth.src = %s and eth.dst = %s and tcp.dst = %d) -> .* at max(%dMB/s) ;",
+				id, macOf(t, src), macOf(t, dst), 2000+p*nG+g, capMB)
+			tenant.StmtIDs = append(tenant.StmtIDs, id)
+			sc.Traffic = append(sc.Traffic, FlowSpec{
+				ID: id, Src: src, Dst: dst, Stmt: id,
+				DemandBps: 2 * float64(capMB) * topo.MBps, MaxBps: float64(capMB) * topo.MBps,
+			})
+		}
+		sc.Tenants = append(sc.Tenants, tenant)
+	}
+	sb.WriteString("]")
+	sc.PolicyText = sb.String()
+	sc.Invariants.Statements = nT * nG
+	sc.Invariants.Tenants = nT
+	sc.Invariants.Negotiable = true
+	return nil
+}
+
+// genBestEffort builds the background suite: sampled host-pair
+// best-effort classes, plus two endpoint-free port classes (which widen
+// to all host pairs) on topologies small enough to afford them.
+func genBestEffort(sc *Scenario, rng *rand.Rand) error {
+	t := sc.Topology
+	hosts := hostNames(t)
+	n := len(hosts) / 2
+	if n < 6 {
+		n = 6
+	}
+	if n > 16 {
+		n = 16
+	}
+	var sb strings.Builder
+	sb.WriteString("[")
+	for i := 0; i < n; i++ {
+		src, dst := pickPair(rng, hosts)
+		id := fmt.Sprintf("b%d", i)
+		fmt.Fprintf(&sb, " %s : (eth.src = %s and eth.dst = %s and tcp.dst = %d) -> .* ;",
+			id, macOf(t, src), macOf(t, dst), 3000+i)
+		sc.Traffic = append(sc.Traffic, FlowSpec{
+			ID: id, Src: src, Dst: dst, Stmt: id,
+			DemandBps: float64(10+10*rng.Intn(9)) * topo.Mbps,
+		})
+	}
+	stmts := n
+	if len(hosts) <= 40 {
+		sb.WriteString(" web : (tcp.dst = 80) -> .* ;")
+		sb.WriteString(" dns : (udp.dst = 53) -> .* ;")
+		stmts += 2
+	}
+	sb.WriteString("]")
+	sc.PolicyText = sb.String()
+	sc.Invariants.Statements = stmts
+	return nil
+}

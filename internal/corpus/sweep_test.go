@@ -1,0 +1,76 @@
+package corpus_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"merlin/internal/corpus"
+)
+
+// smokeGrid is the small grid CI sweeps: two small topologies, two
+// suites, failures on and off, with the differential and budget
+// injections hitting at least one cell each.
+func smokeGrid() corpus.Grid {
+	return corpus.Grid{
+		Topos:       []string{"fattree-k4", "ring-12"},
+		Suites:      []string{"tenants", "delegation"},
+		Seeds:       []int64{3},
+		Failures:    []bool{false, true},
+		DiffEvery:   3,
+		BudgetEvery: 4,
+	}
+}
+
+// TestSweepSmokeGridPasses runs the CI smoke grid end to end: every cell
+// must pass every validation, and the differential and budget checks must
+// have actually run somewhere.
+func TestSweepSmokeGridPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep grid skipped in -short")
+	}
+	res := corpus.RunSweep(smokeGrid())
+	sawDiff, sawBudget, sawReplay, sawNegotiate := false, false, false, false
+	for _, c := range res.Cells {
+		if !c.OK() {
+			t.Errorf("cell %d %s failed: %s", c.Index, c.Name, c.Err)
+		}
+		joined := strings.Join(c.Checks, "+")
+		sawDiff = sawDiff || strings.Contains(joined, "diff")
+		sawBudget = sawBudget || strings.Contains(joined, "budget")
+		sawReplay = sawReplay || strings.Contains(joined, "replay")
+		sawNegotiate = sawNegotiate || strings.Contains(joined, "negotiate")
+	}
+	if res.Failed != 0 {
+		t.Fatalf("%d/%d cells failed", res.Failed, len(res.Cells))
+	}
+	if !sawDiff || !sawBudget || !sawReplay || !sawNegotiate {
+		t.Fatalf("missing check coverage: diff=%t budget=%t replay=%t negotiate=%t",
+			sawDiff, sawBudget, sawReplay, sawNegotiate)
+	}
+}
+
+// TestSweepSummaryDeterministic asserts the acceptance contract: the same
+// grid re-run — at any worker count — emits a byte-identical summary.
+func TestSweepSummaryDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep grid skipped in -short")
+	}
+	g := smokeGrid()
+	g.Workers = 1
+	a := corpus.RunSweep(g)
+	g.Workers = 4
+	b := corpus.RunSweep(g)
+	if !bytes.Equal(a.SummaryCSV(), b.SummaryCSV()) {
+		t.Fatalf("summary CSV differs across worker counts:\n--- w1\n%s\n--- w4\n%s", a.SummaryCSV(), b.SummaryCSV())
+	}
+	ga, gb := a.GroupRows(), b.GroupRows()
+	if len(ga) != len(gb) {
+		t.Fatalf("group row counts differ: %d vs %d", len(ga), len(gb))
+	}
+	for i := range ga {
+		if ga[i] != gb[i] {
+			t.Fatalf("group row %d differs: %+v vs %+v", i, ga[i], gb[i])
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"merlin/internal/sim"
+	"merlin/internal/topo"
+)
+
+// genTraffic appends the background flows to the suite's statement-backed
+// ones: sampled host pairs offering best-effort load, so simulated links
+// carry contention beyond the policy's own traffic.
+func genTraffic(sc *Scenario, rng *rand.Rand) {
+	hosts := hostNames(sc.Topology)
+	n := len(hosts) / 2
+	if n < 4 {
+		n = 4
+	}
+	if n > 20 {
+		n = 20
+	}
+	for i := 0; i < n; i++ {
+		src, dst := pickPair(rng, hosts)
+		sc.Traffic = append(sc.Traffic, FlowSpec{
+			ID: fmt.Sprintf("bg%d", i), Src: src, Dst: dst,
+			DemandBps: float64(10+10*rng.Intn(10)) * topo.Mbps,
+		})
+	}
+}
+
+// BuildNetwork loads the scenario's traffic matrix into a fresh
+// simulation over the scenario's topology. paths — typically a compile
+// Result's Paths, keyed by statement ID — pins statement-backed flows to
+// their provisioned paths; flows without one take shortest paths.
+func (sc *Scenario) BuildNetwork(paths map[string][]string) (*sim.Network, error) {
+	t := sc.Topology
+	n := sim.New(t)
+	for _, f := range sc.Traffic {
+		src, okS := t.Lookup(f.Src)
+		dst, okD := t.Lookup(f.Dst)
+		if !okS || !okD {
+			return nil, fmt.Errorf("corpus: flow %s endpoints %s-%s not in topology", f.ID, f.Src, f.Dst)
+		}
+		if f.Stmt != "" {
+			if p := paths[f.Stmt]; len(p) >= 2 {
+				ids := make([]topo.NodeID, 0, len(p))
+				ok := true
+				for _, name := range p {
+					id, found := t.Lookup(name)
+					if !found {
+						ok = false
+						break
+					}
+					ids = append(ids, id)
+				}
+				if ok {
+					if _, err := n.AddFlowOnPath(f.ID, ids, f.DemandBps, f.MinBps, f.MaxBps); err != nil {
+						return nil, fmt.Errorf("corpus: flow %s on provisioned path: %w", f.ID, err)
+					}
+					continue
+				}
+			}
+		}
+		if _, err := n.AddFlow(f.ID, src, dst, f.DemandBps, f.MinBps, f.MaxBps); err != nil {
+			return nil, fmt.Errorf("corpus: flow %s: %w", f.ID, err)
+		}
+	}
+	return n, nil
+}

@@ -88,7 +88,11 @@ func Failover() ([]Row, error) {
 		}
 		rows = append(rows, r)
 	}
-	return rows, nil
+	zoo, err := ZooFailover()
+	if err != nil {
+		return nil, err
+	}
+	return append(rows, zoo...), nil
 }
 
 // FailoverRun measures one case.

@@ -105,7 +105,11 @@ func Sharding() ([]Row, error) {
 		}
 		rows = append(rows, r)
 	}
-	return rows, nil
+	zoo, err := ZooSharding()
+	if err != nil {
+		return nil, err
+	}
+	return append(rows, zoo...), nil
 }
 
 // ShardingRun measures one case.

@@ -6,7 +6,10 @@ import (
 	"sort"
 	"sync"
 
+	"merlin/internal/codegen"
 	"merlin/internal/policy"
+	"merlin/internal/ternary"
+	"merlin/internal/topo"
 	"merlin/internal/verify"
 )
 
@@ -59,11 +62,12 @@ type Hub struct {
 	cache    *verify.Cache
 	onCommit CommitFunc
 
-	ticksBatched      int
-	demandsBatched    int
-	allocsChanged     int
-	proposalsAccepted int
-	proposalsRejected int
+	ticksBatched        int
+	demandsBatched      int
+	allocsChanged       int
+	proposalsAccepted   int
+	proposalsRejected   int
+	proposalsOverBudget int
 }
 
 // HubOptions tune a Hub.
@@ -78,6 +82,22 @@ type HubOptions struct {
 	// MMFS ticks divide each shard's capacity max-min fairly across the
 	// declared demands instead of running per-session AIMD controllers.
 	MMFS bool
+	// TableBudgets, when non-empty, enables dataplane admission control:
+	// Propose estimates the ternary-expanded entry count of the refined
+	// statements' classifiers and rejects the proposal with a
+	// *codegen.TableOverflowError if that estimate exceeds any listed
+	// device's budget. The check is conservative — placement is not known
+	// until recompile, so every proposal entry is assumed to land on each
+	// budgeted device — which keeps admission O(proposal) instead of
+	// O(compile). Keys are topology node names.
+	TableBudgets map[string]int
+	// Ternary tunes the expansion model the budget estimate runs under
+	// (range support, prefix-only tables), mirroring Options.Ternary on
+	// the compiler.
+	Ternary ternary.Options
+	// Identities resolves host names in proposal predicates to addresses
+	// for the budget estimate; nil leaves values unresolved.
+	Identities *topo.IdentityTable
 }
 
 // HubStats is a snapshot of the hub counters.
@@ -95,6 +115,10 @@ type HubStats struct {
 	// rejections are admission control — no recompile happens.
 	ProposalsAccepted int
 	ProposalsRejected int
+	// ProposalsOverBudget counts the rejections (included in
+	// ProposalsRejected) where the refinement verified but the estimated
+	// table expansion exceeded a configured device budget.
+	ProposalsOverBudget int
 	// VerifyCacheHits/Misses mirror the verification cache's policy-level
 	// counters.
 	VerifyCacheHits   int
@@ -200,12 +224,13 @@ func (h *Hub) OnCommit(fn CommitFunc) {
 func (h *Hub) Stats() HubStats {
 	h.mu.Lock()
 	st := HubStats{
-		TenantsActive:     len(h.sessions),
-		TicksBatched:      h.ticksBatched,
-		DemandsBatched:    h.demandsBatched,
-		AllocsChanged:     h.allocsChanged,
-		ProposalsAccepted: h.proposalsAccepted,
-		ProposalsRejected: h.proposalsRejected,
+		TenantsActive:       len(h.sessions),
+		TicksBatched:        h.ticksBatched,
+		DemandsBatched:      h.demandsBatched,
+		AllocsChanged:       h.allocsChanged,
+		ProposalsAccepted:   h.proposalsAccepted,
+		ProposalsRejected:   h.proposalsRejected,
+		ProposalsOverBudget: h.proposalsOverBudget,
 	}
 	h.mu.Unlock()
 	cs := h.cache.Stats()
@@ -580,6 +605,43 @@ func (s *Session) budget() float64 {
 	return s.budgetMax
 }
 
+// admitBudgets is the dataplane admission pre-check: with TableBudgets
+// configured, the ternary-expanded entry estimate of the refined
+// statements' classifiers must fit every budgeted device. Placement is
+// unknown until the accepted proposal recompiles, so the estimate is the
+// conservative worst case — the whole proposal landing on one device.
+// Called with the hub lock held.
+func (h *Hub) admitBudgets(refined *policy.Policy) error {
+	if len(h.opts.TableBudgets) == 0 {
+		return nil
+	}
+	entries := 0
+	for _, st := range refined.Statements {
+		n, err := codegen.EstimateRuleEntries(
+			codegen.Rule{Match: codegen.Match{Pred: st.Predicate}},
+			h.opts.Ternary, h.opts.Identities)
+		if err != nil {
+			return fmt.Errorf("negotiate: estimating table entries for statement %q: %w", st.ID, err)
+		}
+		entries += n
+	}
+	names := make([]string, 0, len(h.opts.TableBudgets))
+	for name := range h.opts.TableBudgets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var over []codegen.TableOverflow
+	for _, name := range names {
+		if budget := h.opts.TableBudgets[name]; entries > budget {
+			over = append(over, codegen.TableOverflow{Device: -1, Name: name, Entries: entries, Budget: budget})
+		}
+	}
+	if len(over) > 0 {
+		return &codegen.TableOverflowError{Overflows: over}
+	}
+	return nil
+}
+
 // Propose submits a refined sub-policy for the tenant's delegation: the
 // session's statements are replaced on acceptance. Verification runs
 // against the session's registration-time baseline through the hub's
@@ -603,6 +665,11 @@ func (h *Hub) Propose(tenant string, refined *policy.Policy) (recompile bool, er
 	if !rep.OK() {
 		h.proposalsRejected++
 		return false, rep.Err()
+	}
+	if err := h.admitBudgets(refined); err != nil {
+		h.proposalsRejected++
+		h.proposalsOverBudget++
+		return false, err
 	}
 	refAllocs, err := policy.Localize(refined.Formula, nil)
 	if err != nil {

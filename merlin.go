@@ -125,6 +125,21 @@
 // WireDelta / WireTopoEvent are the JSON forms, DecodeDelta and
 // ApplyJournalRecord the replay entry points — usable directly by any
 // embedding that wants merlind's durability without its HTTP surface.
+//
+// Everything above is exercised at corpus scale by internal/corpus and
+// cmd/merlin-sweep: a seeded, deterministic scenario generator (tenant,
+// middlebox-chain, delegation, and best-effort policy suites over fat
+// trees and Topology Zoo graphs, with traffic matrices and balanced
+// failure/recovery schedules as []TopoEvent timelines) and a grid
+// runner that compiles every cell through this package, replays its
+// schedule, and validates the results — recompile determinism,
+// sharded ≡ monolithic output, region confinement, negotiated caps,
+// injected budget overflows. A quickstart grid:
+//
+//	merlin-sweep -topos zoo-3,fattree-k4 -suites tenants,delegation \
+//	    -seeds 1,2 -failures both -out results/
+//
+// See cmd/merlin-sweep's doc and PERFORMANCE.md's "Scenario sweeps".
 package merlin
 
 import (
